@@ -1,0 +1,156 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own tables: each benchmark switches off one design
+ingredient of the virtual QRAM (or of the compilation layer) and measures what
+it costs, quantifying why the ingredient is part of the design.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.common import format_table, random_memory
+from repro.mapping import HTreeEmbedding, MappedQRAM, SwapRouting, TeleportationRouting
+from repro.qram import BucketBrigadeQRAM, VirtualQRAM, VirtualQRAMOptions
+from repro.sim import GateNoiseModel, PauliChannel
+
+
+def bench_ablation_lazy_swapping_under_noise(run_once):
+    """Lazy data swapping saves classically-controlled gates *and* fidelity.
+
+    Fewer physical operations means fewer error opportunities, so the lazy
+    variant should be at least as good under gate noise.
+    """
+
+    def run():
+        memory = random_memory(6)
+        noise = GateNoiseModel(PauliChannel.depolarizing(1e-3))
+        rows = []
+        for lazy in (False, True):
+            options = VirtualQRAMOptions(lazy_data_swapping=lazy)
+            architecture = VirtualQRAM(memory=memory, qram_width=3, options=options)
+            classical = architecture.build_circuit().count_tagged("classical")
+            fidelity = architecture.run_query(noise, shots=256, rng=7).mean_fidelity
+            rows.append(["lazy" if lazy else "eager", classical, fidelity])
+        return rows
+
+    rows = run_once(run)
+    emit(
+        "Ablation: lazy data swapping (m=3, k=3, depolarizing 1e-3)",
+        format_table(["variant", "classical gates", "fidelity"], rows),
+    )
+    eager, lazy = rows
+    assert lazy[1] < eager[1]
+    assert lazy[2] >= eager[2] - 0.03
+
+
+def bench_ablation_pipelining_depth_scaling(run_once):
+    """Pipelined vs sequential address loading depth as the tree grows."""
+
+    def sweep():
+        rows = []
+        for m in (2, 4, 6, 8):
+            memory = random_memory(m)
+            sequential = VirtualQRAM(
+                memory=memory, qram_width=m,
+                options=VirtualQRAMOptions(pipelined_addressing=False),
+            )
+            pipelined = VirtualQRAM(memory=memory, qram_width=m)
+            rows.append(
+                [
+                    m,
+                    sequential.build_circuit().depth(),
+                    pipelined.build_circuit().depth(),
+                ]
+            )
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        "Ablation: address pipelining (circuit depth)",
+        format_table(["m", "sequential depth", "pipelined depth"], rows),
+    )
+    # The depth gap widens with m (the m^2 -> m reduction of Sec. 3.2.3).
+    gaps = [sequential - pipelined for _, sequential, pipelined in rows]
+    assert gaps == sorted(gaps)
+
+
+def bench_ablation_recycling_qubit_footprint(run_once):
+    """Address-qubit recycling vs dedicated accumulators across tree sizes."""
+
+    def sweep():
+        rows = []
+        for m in (3, 5, 7):
+            memory = random_memory(m)
+            raw = VirtualQRAM(
+                memory=memory, qram_width=m,
+                options=VirtualQRAMOptions(recycle_address_qubits=False),
+            )
+            recycled = VirtualQRAM(memory=memory, qram_width=m)
+            rows.append(
+                [
+                    m,
+                    raw.build_circuit().num_qubits,
+                    recycled.build_circuit().num_qubits,
+                ]
+            )
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        "Ablation: address-qubit recycling (qubit count)",
+        format_table(["m", "dedicated accumulators", "recycled wires"], rows),
+    )
+    for _, raw_qubits, recycled_qubits in rows:
+        assert recycled_qubits < raw_qubits
+
+
+def bench_ablation_new_retrieval_vs_bucket_brigade(run_once):
+    """The paper's CX-compression retrieval vs classic routed retrieval.
+
+    The novel data-retrieval stage replaces per-page CSWAP routing (T gates)
+    with a Clifford CX array, which is where the load-once T savings come from.
+    """
+
+    def run():
+        from repro.circuit import circuit_cost
+
+        memory = random_memory(6)
+        rows = []
+        for label, cls in (("virtual (ours)", VirtualQRAM), ("SQC+BB", BucketBrigadeQRAM)):
+            architecture = cls(memory=memory, qram_width=3)
+            cost = circuit_cost(architecture.build_circuit())
+            rows.append([label, cost.t_count, cost.t_depth, cost.clifford_count])
+        return rows
+
+    rows = run_once(run)
+    emit(
+        "Ablation: data-retrieval strategy (m=3, k=3)",
+        format_table(["architecture", "T count", "T depth", "Clifford count"], rows),
+    )
+    ours, baseline = rows
+    assert ours[1] < baseline[1]
+    assert ours[2] < baseline[2]
+
+
+def bench_ablation_teleportation_link_depth(run_once):
+    """Sensitivity of Figure 8 to the assumed per-link teleportation depth."""
+
+    def sweep():
+        memory = random_memory(7)
+        architecture = VirtualQRAM(memory=memory, qram_width=7)
+        mapped = MappedQRAM(architecture.build_circuit(), HTreeEmbedding(tree_depth=7))
+        swap_depth = mapped.overhead(SwapRouting()).extra_depth
+        rows = [["swap-based", swap_depth]]
+        for link_depth in (1, 2, 4, 8):
+            overhead = mapped.overhead(TeleportationRouting(link_depth=link_depth))
+            rows.append([f"teleportation (link depth {link_depth})", overhead.extra_depth])
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        "Ablation: teleportation link depth (m=7)",
+        format_table(["scheme", "extra depth"], rows),
+    )
+    swap_extra = rows[0][1]
+    # Even a pessimistic 8-layer teleportation link still beats swap routing.
+    assert all(extra < swap_extra for _, extra in rows[1:])

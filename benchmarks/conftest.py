@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+regenerated rows/series are collected via :func:`emit` and written out in the
+terminal summary at the end of the run, so that
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+leaves a complete textual record of the reproduction next to the timing data
+even though pytest captures per-test output.
+
+The experiment runners are deterministic (seeded) but not cheap, so most
+benchmarks run a single round via ``benchmark.pedantic`` rather than letting
+pytest-benchmark calibrate thousands of iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Reproduced tables/series collected during the run, in emission order.
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner
+
+
+def emit(title: str, body: str) -> None:
+    """Record (and print) a reproduced table/series with a recognisable banner."""
+    _REPORTS.append((title, body))
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every reproduced table after the timing summary."""
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced tables and figures", sep="=")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("-" * len(title))
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

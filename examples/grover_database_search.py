@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Grover-style database search using QRAM as the oracle's data loader.
+
+The paper motivates QRAM with quantum search: Grover's algorithm needs an
+oracle that flags the marked database entries, and a general-purpose QRAM
+realises exactly that oracle for *any* classical database -- the bus qubit,
+prepared in |->, picks up a phase on the marked addresses.
+
+This example builds the full amplitude-level pipeline:
+
+1. store a database of N items with a handful of marked entries in a
+   :class:`~repro.qram.ClassicalMemory`;
+2. use a virtual QRAM query as the phase oracle (simulated exactly at the
+   amplitude level with the Feynman-path machinery);
+3. run Grover iterations (oracle + diffusion on the amplitude vector) and
+   watch the marked amplitudes grow;
+4. compare the architectures' oracle costs (the real reason Table 2 matters:
+   the oracle is called O(sqrt(N)) times, so its depth multiplies).
+
+Run with:  python examples/grover_database_search.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import ClassicalMemory, VirtualQRAM
+from repro.circuit import circuit_cost
+from repro.qram import BucketBrigadeQRAM, SelectSwapQRAM, SequentialQueryCircuit
+
+
+def oracle_phases(memory: ClassicalMemory) -> np.ndarray:
+    """Phase picked up by each address when the bus is prepared in |->.
+
+    A QRAM query flips the bus exactly for addresses storing 1, which on a
+    |-> bus becomes a (-1) phase: the standard phase-kickback oracle.  The
+    virtual QRAM's correctness (verified in the test suite and below) is what
+    guarantees this classical shortcut is the true amplitude-level behaviour.
+    """
+    return np.array([-1.0 if memory[i] else 1.0 for i in range(memory.size)])
+
+
+def grover_search(memory: ClassicalMemory, iterations: int) -> np.ndarray:
+    """Amplitude evolution of Grover search driven by QRAM oracle queries."""
+    size = memory.size
+    amplitudes = np.full(size, 1.0 / math.sqrt(size))
+    phases = oracle_phases(memory)
+    for _ in range(iterations):
+        amplitudes = amplitudes * phases              # QRAM phase oracle
+        mean = amplitudes.mean()                      # diffusion operator
+        amplitudes = 2 * mean - amplitudes
+    return amplitudes
+
+
+def verify_oracle_once(memory: ClassicalMemory, qram_width: int) -> None:
+    """Check, via simulation, that the QRAM query marks exactly the 1-cells."""
+    qram = VirtualQRAM(memory=memory, qram_width=qram_width)
+    assert qram.verify()
+    output = qram.simulate()
+    addresses = output.register_values(qram.address_qubits())
+    bus = output.bits[:, qram.bus_qubit()]
+    marked = {int(a) for a, b in zip(addresses, bus) if b}
+    expected = {i for i in range(memory.size) if memory[i]}
+    assert marked == expected, "oracle marks the wrong addresses"
+
+
+def main() -> None:
+    # A 64-entry database with three marked items.
+    marked = {5, 23, 42}
+    memory = ClassicalMemory.from_function(
+        lambda i: 1 if i in marked else 0, address_width=6
+    )
+    print(f"database: {memory.size} entries, marked items {sorted(marked)}")
+
+    # The QRAM oracle is functionally correct (this runs the actual circuit).
+    verify_oracle_once(memory, qram_width=4)
+    print("QRAM oracle verified at the circuit level (m=4, k=2)")
+
+    # Grover amplification with the optimal iteration count.
+    optimal = math.floor(math.pi / 4 * math.sqrt(memory.size / len(marked)))
+    amplitudes = grover_search(memory, optimal)
+    success = float(sum(amplitudes[i] ** 2 for i in marked))
+    print(
+        f"after {optimal} Grover iterations the probability of measuring a "
+        f"marked item is {success:.3f}"
+    )
+
+    # Oracle cost comparison: the oracle runs O(sqrt(N)) times, so Table 2's
+    # depth and T-count differences multiply into the whole algorithm.
+    print("\noracle cost per call (and per full search):")
+    architectures = {
+        "virtual QRAM (ours)": VirtualQRAM(memory=memory, qram_width=4),
+        "SQC+BB baseline": BucketBrigadeQRAM(memory=memory, qram_width=4),
+        "SQC+SS baseline": SelectSwapQRAM(memory=memory, qram_width=4),
+        "SQC / QROM": SequentialQueryCircuit(memory=memory),
+    }
+    for name, architecture in architectures.items():
+        circuit = architecture.build_circuit()
+        cost = circuit_cost(circuit)
+        print(
+            f"  {name:22s} depth {circuit.depth():5d}  T-count {cost.t_count:6d}"
+            f"  -> search T-count ~ {cost.t_count * optimal}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Noise-resilience study: why the virtual QRAM tolerates Z-biased noise.
+
+Reproduces the reasoning of Sec. 5 at three levels:
+
+1. **structure** -- propagate single Pauli errors through the query circuit and
+   show that Z errors stay local (they almost never reach the bus) while X
+   errors ride the CX compression array to the root (Fig. 7);
+2. **simulation** -- Monte-Carlo the query fidelity under phase-flip and
+   bit-flip channels across architectures (the Figure 9 comparison);
+3. **analytics** -- compare the simulated fidelity with the closed-form lower
+   bounds of Eqs. 3, 5 and 6 and show what they predict for larger QRAMs than
+   simulation can reach.
+
+Run with:  python examples/noise_resilience_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClassicalMemory, VirtualQRAM
+from repro.analysis import (
+    qram_x_fidelity_bound,
+    qram_z_fidelity_bound,
+    virtual_z_fidelity_bound,
+    z_error_locality_fraction,
+)
+from repro.qram import BucketBrigadeQRAM, SelectSwapQRAM
+from repro.sim import GateNoiseModel, PauliChannel
+
+
+def structural_locality() -> None:
+    print("1. structural error propagation (fraction of error locations whose")
+    print("   cone never reaches the address/bus registers)")
+    for m in (2, 3, 4):
+        memory = ClassicalMemory.random(m, rng=m)
+        qram = VirtualQRAM(memory=memory, qram_width=m)
+        circuit = qram.build_circuit()
+        protected = qram.kept_qubits()
+        z_fraction = z_error_locality_fraction(circuit, protected, pauli="Z")
+        x_fraction = z_error_locality_fraction(circuit, protected, pauli="X")
+        print(f"   m={m}: Z errors avoid them {z_fraction:5.1%} of the time, "
+              f"X errors only {x_fraction:5.1%}")
+    print()
+
+
+def simulated_comparison() -> None:
+    print("2. Monte-Carlo fidelity under phase-flip vs bit-flip noise (eps = 1e-3)")
+    epsilon = 1e-3
+    rng_seed = 2023
+    print(f"   {'m':>3} {'ours Z':>8} {'ours X':>8} {'BB Z':>8} {'BB X':>8} {'SS Z':>8}")
+    for m in (2, 3, 4, 5):
+        memory = ClassicalMemory.random(m, rng=m)
+        row = [f"{m:>3}"]
+        for cls, channel in (
+            (VirtualQRAM, PauliChannel.phase_flip(epsilon)),
+            (VirtualQRAM, PauliChannel.bit_flip(epsilon)),
+            (BucketBrigadeQRAM, PauliChannel.phase_flip(epsilon)),
+            (BucketBrigadeQRAM, PauliChannel.bit_flip(epsilon)),
+            (SelectSwapQRAM, PauliChannel.phase_flip(epsilon)),
+        ):
+            architecture = cls(memory=memory, qram_width=m)
+            result = architecture.run_query(
+                GateNoiseModel(channel), shots=256, rng=np.random.default_rng(rng_seed)
+            )
+            row.append(f"{result.mean_fidelity:8.3f}")
+        print("   " + " ".join(row))
+    print()
+
+
+def analytic_extrapolation() -> None:
+    print("3. analytic bounds: what Eqs. 3/5/6 predict beyond simulation reach")
+    epsilon = 1e-5
+    print(f"   per-qubit error rate eps = {epsilon:g}")
+    print(f"   {'m':>3} {'k':>3} {'memory':>10} {'Z bound':>9} {'X bound':>9}")
+    for m, k in ((8, 0), (10, 2), (12, 4), (16, 8)):
+        z_bound = virtual_z_fidelity_bound(epsilon, m, k)
+        x_bound = qram_x_fidelity_bound(epsilon, m)
+        print(f"   {m:>3} {k:>3} {1 << (m + k):>10,} {z_bound:9.4f} {x_bound:9.4f}")
+    print()
+    print("   the Z bound stays useful at millions of cells while the X bound")
+    print("   collapses -- which is exactly why Sec. 5.2 spends code distance")
+    print("   asymmetrically (larger d_x than d_z).")
+
+
+def main() -> None:
+    structural_locality()
+    simulated_comparison()
+    analytic_extrapolation()
+
+
+if __name__ == "__main__":
+    main()

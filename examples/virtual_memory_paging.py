@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Virtual memory: querying an address space larger than the physical QRAM.
+
+The core systems idea of the paper (Sec. 3.1.3) mirrors classical virtual
+memory: a small physical QRAM of M = 2^m cells serves queries to a memory of
+N = 2^n > M cells by iterating over K = 2^k pages, with the k most-significant
+address bits selecting the page.  This example explores that design space:
+
+* how the qubit count stays flat as the memory grows (only pages increase);
+* what the per-query cost of paging is (depth and classically-controlled
+  gates per page, and the lazy-swapping savings on realistic data);
+* how the optimizations of Sec. 3.2 interact with the page count;
+* the noise price of paging, i.e. why you still want the largest physical
+  QRAM your hardware can hold (Figure 11's message).
+
+Run with:  python examples/virtual_memory_paging.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClassicalMemory, VirtualQRAM, VirtualQRAMOptions
+from repro.sim import GateNoiseModel, PauliChannel
+
+
+def paging_scaling_study() -> None:
+    """Fix the physical QRAM (m=4) and grow the memory from 16 to 512 cells."""
+    print("fixed 16-cell physical QRAM, growing virtual address space")
+    print(f"{'memory':>8} {'pages':>6} {'qubits':>7} {'depth':>7} "
+          f"{'classical gates':>16} {'T count':>8}")
+    for n in range(4, 10):
+        memory = ClassicalMemory.random(n, rng=n)
+        qram = VirtualQRAM(memory=memory, qram_width=4)
+        report = qram.resource_report()
+        print(
+            f"{memory.size:>8} {qram.num_pages:>6} {report.qubits:>7} "
+            f"{report.circuit_depth:>7} {report.classical_controlled_gates:>16} "
+            f"{report.clifford_t.t_count:>8}"
+        )
+    print("qubits stay flat: the address space is virtual, the tree is not.\n")
+
+
+def lazy_swapping_on_structured_data() -> None:
+    """Lazy data swapping shines when consecutive pages are similar.
+
+    The paper quotes an average factor-2 saving for uniformly random data;
+    structured data (e.g. a mostly-constant table) does far better because
+    consecutive pages rarely differ.
+    """
+    print("lazy data swapping: classically-controlled gates per query")
+    datasets = {
+        "uniform random": ClassicalMemory.random(8, rng=1),
+        "mostly zeros (sparse)": ClassicalMemory.random(8, rng=2, p_one=0.05),
+        "block-constant": ClassicalMemory.from_function(
+            lambda i: 1 if (i >> 6) % 2 else 0, address_width=8
+        ),
+    }
+    for label, memory in datasets.items():
+        eager = VirtualQRAM(
+            memory=memory, qram_width=4,
+            options=VirtualQRAMOptions(lazy_data_swapping=False),
+        )
+        lazy = VirtualQRAM(memory=memory, qram_width=4)
+        eager_count = eager.build_circuit().count_tagged("classical")
+        lazy_count = lazy.build_circuit().count_tagged("classical")
+        saving = 1 - lazy_count / max(eager_count, 1)
+        print(
+            f"  {label:22s} eager {eager_count:5d}  lazy {lazy_count:5d} "
+            f"  saving {saving:5.1%}"
+        )
+    print()
+
+
+def paging_noise_price() -> None:
+    """The noise cost of paging: same memory, different physical QRAM sizes."""
+    print("noise price of paging a 64-cell memory (phase-flip, eps = 1e-3)")
+    memory = ClassicalMemory.random(6, rng=11)
+    noise = GateNoiseModel(PauliChannel.phase_flip(1e-3))
+    for m in (1, 2, 3, 4, 5, 6):
+        qram = VirtualQRAM(memory=memory, qram_width=m)
+        result = qram.run_query(noise, shots=384, rng=np.random.default_rng(3))
+        bar = "#" * int(round(result.mean_fidelity * 40))
+        print(
+            f"  m={m} (pages={qram.num_pages:2d}): fidelity {result.mean_fidelity:.3f} {bar}"
+        )
+    print("small trees mean many pages and many error opportunities per query;\n"
+          "use the largest physical QRAM the hardware supports (Figure 11).\n")
+
+
+def multi_bit_data() -> None:
+    """Sec. 8 extension: memories with more than one bit per cell."""
+    from repro.qram import MultiBitQuery
+
+    memory = ClassicalMemory.random(4, rng=9, data_width=3)
+    query = MultiBitQuery(memory=memory, qram_width=2)
+    print("multi-bit memory (3 bits per cell) queried one bit plane at a time")
+    for address in (0, 5, 11, 15):
+        value = query.classical_readout(address)
+        print(f"  address {address:2d}: read {value} (stored {memory[address]})")
+    totals = query.total_resources()
+    print(f"  total cost across planes: {totals['gate_count']} gates, "
+          f"{totals['t_count']} T gates\n")
+
+
+def main() -> None:
+    paging_scaling_study()
+    lazy_swapping_on_structured_data()
+    paging_noise_price()
+    multi_bit_data()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` works on environments whose setuptools
+predates PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package installed): ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Analytic models from the paper: fidelity bounds, noise propagation, codes, resources.
+
+* :mod:`~repro.analysis.fidelity` -- the closed-form query-fidelity lower
+  bounds of Sec. 5.1 (Eqs. 3, 5, 6 and the dual-rail/X-error variants);
+* :mod:`~repro.analysis.biased_noise` -- Pauli error-cone propagation through
+  QRAM circuits, the structural argument behind the Z-bias resilience (Fig. 7);
+* :mod:`~repro.analysis.surface_code` -- the rectangular (asymmetric) surface
+  code model and the distance-gap design rule of Eq. 7 (Sec. 5.2);
+* :mod:`~repro.analysis.resources` -- the resource formulas of Tables 1 and 2
+  together with helpers that compare them against counts measured on built
+  circuits.
+"""
+
+from repro.analysis.biased_noise import (
+    ErrorCone,
+    error_cone,
+    pauli_weight_at_output,
+    z_error_locality_fraction,
+)
+from repro.analysis.fidelity import (
+    bucket_brigade_fidelity_bound,
+    dual_rail_z_fidelity_bound,
+    expected_good_branch_fraction,
+    qram_x_fidelity_bound,
+    qram_z_fidelity_bound,
+    sqc_fidelity_bound,
+    virtual_x_fidelity_bound,
+    virtual_z_fidelity_bound,
+)
+from repro.analysis.planner import (
+    DeploymentPlan,
+    candidate_splits,
+    logical_qubit_count,
+    plan_deployment,
+    required_error_reduction,
+)
+from repro.analysis.resources import (
+    OPTIMIZATION_COLUMNS,
+    measured_table1_row,
+    measured_table2_row,
+    table1_formulas,
+    table2_formulas,
+)
+from repro.analysis.surface_code import (
+    RectangularSurfaceCode,
+    SurfaceCodeDesign,
+    balanced_distance_gap,
+    design_asymmetric_code,
+)
+
+__all__ = [
+    "DeploymentPlan",
+    "ErrorCone",
+    "OPTIMIZATION_COLUMNS",
+    "candidate_splits",
+    "logical_qubit_count",
+    "plan_deployment",
+    "required_error_reduction",
+    "RectangularSurfaceCode",
+    "SurfaceCodeDesign",
+    "balanced_distance_gap",
+    "bucket_brigade_fidelity_bound",
+    "design_asymmetric_code",
+    "dual_rail_z_fidelity_bound",
+    "error_cone",
+    "expected_good_branch_fraction",
+    "measured_table1_row",
+    "measured_table2_row",
+    "pauli_weight_at_output",
+    "qram_x_fidelity_bound",
+    "qram_z_fidelity_bound",
+    "sqc_fidelity_bound",
+    "table1_formulas",
+    "table2_formulas",
+    "virtual_x_fidelity_bound",
+    "virtual_z_fidelity_bound",
+    "z_error_locality_fraction",
+]

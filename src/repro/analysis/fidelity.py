@@ -1,0 +1,116 @@
+"""Closed-form query-fidelity lower bounds (Sec. 5.1 of the paper).
+
+The bounds quantify the *intrinsic* biased-noise resilience of the router
+architectures: under a per-qubit phase-flip (Z) channel of strength ``eps``
+the infidelity of the QRAM part grows only polynomially with the address
+width ``m`` (Eq. 3), whereas bit-flip (X) errors propagate through the CX
+compression array and destroy the query, giving an infidelity that grows with
+the full tree size ``2**m``.  The hybrid bounds (Eqs. 5 and 6) add the SQC
+part, which has no resilience to any Pauli error.
+
+All functions return a value clamped to ``[0, 1]`` so they can be compared
+directly against Monte-Carlo fidelity estimates; the raw (unclamped) bound is
+available through ``clamp=False`` where the asymptotic expression matters.
+"""
+
+from __future__ import annotations
+
+
+def _clamp(value: float, clamp: bool) -> float:
+    if not clamp:
+        return value
+    return max(0.0, min(1.0, value))
+
+
+def expected_good_branch_fraction(epsilon: float, m: int) -> float:
+    """Probability that one address branch sees no Z error on its routers.
+
+    Each branch traverses ``m`` routers and the paper charges each router an
+    error opportunity per traversal level, giving ``(1 - eps)**(m**2)`` --
+    the quantity ``E[c] / 2**m`` in the derivation of Eq. (4).
+    """
+    if epsilon < 0 or epsilon > 1:
+        raise ValueError("epsilon must be in [0, 1]")
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    return (1.0 - epsilon) ** (m * m)
+
+
+def qram_z_fidelity_bound(epsilon: float, m: int, *, clamp: bool = True) -> float:
+    """Eq. (3): the QRAM part's fidelity under Z noise, ``F >= 1 - 4 eps m^2``."""
+    return _clamp(1.0 - 4.0 * epsilon * m * m, clamp)
+
+
+def dual_rail_z_fidelity_bound(epsilon: float, m: int, *, clamp: bool = True) -> float:
+    """Dual-rail variant of Eq. (3): ``F >= 1 - 8 eps m^2`` (doubled qubit count)."""
+    return _clamp(1.0 - 8.0 * epsilon * m * m, clamp)
+
+
+def qram_x_fidelity_bound(epsilon: float, m: int, *, clamp: bool = True) -> float:
+    """X-error fidelity of the QRAM part: ``F >= 1 - 8 eps m 2^m``.
+
+    A single bit-flip anywhere in the compression tree reaches the root, so
+    the exponent carries the full qubit count -- the "exponential difference"
+    between the Z and X channels discussed below Eq. (4).
+    """
+    return _clamp(1.0 - 8.0 * epsilon * m * (1 << m), clamp)
+
+
+def sqc_fidelity_bound(epsilon: float, k: int, *, clamp: bool = True) -> float:
+    """SQC part under arbitrary Pauli noise: ``F >= 1 - eps k 2^k``.
+
+    Every gate of the sequential query acts directly on the address/bus
+    registers, so any single error is fatal; the bound simply counts error
+    opportunities.
+    """
+    return _clamp(1.0 - epsilon * k * (1 << k), clamp)
+
+
+def virtual_z_fidelity_bound(
+    epsilon: float, m: int, k: int, *, clamp: bool = True
+) -> float:
+    """Eq. (5): virtual QRAM (QRAM width ``m``, SQC width ``k``) under Z noise."""
+    return _clamp(1.0 - 8.0 * epsilon * (m + 1) * (1 << k) * (k + m), clamp)
+
+
+def virtual_x_fidelity_bound(
+    epsilon: float, m: int, k: int, *, clamp: bool = True
+) -> float:
+    """Eq. (6): virtual QRAM under X noise."""
+    return _clamp(1.0 - 8.0 * epsilon * (m + 1) * (1 << k) * (k + 2**m), clamp)
+
+
+def bucket_brigade_fidelity_bound(
+    epsilon: float, m: int, *, clamp: bool = True
+) -> float:
+    """Bucket-brigade resilience to generic noise (Hann et al., cited as [28]).
+
+    The bucket-brigade baseline tolerates arbitrary Pauli noise with an
+    infidelity polynomial in the address width; the paper states it matches
+    the virtual QRAM's Z-error scaling, so the same ``1 - 4 eps m^2`` form is
+    used as its reference curve in the Figure 9 comparison.
+    """
+    return _clamp(1.0 - 4.0 * epsilon * m * m, clamp)
+
+
+def expected_z_fidelity(epsilon: float, m: int) -> float:
+    """The sharper expectation ``E[F] >= (2 (1-eps)^{m^2} - 1)^2`` of Eq. (4)."""
+    good = expected_good_branch_fraction(epsilon, m)
+    return max(0.0, 2.0 * good - 1.0) ** 2
+
+
+def error_reduction_factor_needed(
+    target_fidelity: float, m: int, k: int, base_epsilon: float = 1e-3
+) -> float:
+    """Error-reduction factor ``eps_r`` needed to reach ``target_fidelity``.
+
+    Inverts Eq. (5) (the binding Z-error bound) for the Appendix-A style
+    question "how much better must hardware get before a virtual QRAM of this
+    size reaches fidelity F?".
+    """
+    if not 0.0 < target_fidelity < 1.0:
+        raise ValueError("target fidelity must be strictly between 0 and 1")
+    required_epsilon = (1.0 - target_fidelity) / (
+        8.0 * (m + 1) * (1 << k) * (k + m if (k + m) > 0 else 1)
+    )
+    return base_epsilon / required_epsilon

@@ -1,0 +1,201 @@
+"""Deployment planner: size a virtual QRAM for a target workload and fidelity.
+
+The paper's conclusion is a list of "technology advances needed to scale up
+QRAM"; this module turns that discussion into a small decision procedure a
+systems designer can run:
+
+    given a memory size N, a target query fidelity, the physical error rate
+    of the hardware (or a range of error-reduction factors), and a qubit
+    budget -- which (m, k) split should be used, does it need error
+    correction, and what does it cost?
+
+The planner combines the analytic fidelity bounds (Sec. 5.1), the resource
+models behind Tables 1-2, the H-tree layout statistics (Sec. 4.2) and the
+asymmetric surface-code design rule (Sec. 5.2).  It is deliberately
+conservative: it uses the lower bounds, so a plan it accepts will not be
+invalidated by the Monte-Carlo simulation (the planner tests check this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.fidelity import (
+    virtual_x_fidelity_bound,
+    virtual_z_fidelity_bound,
+)
+from repro.analysis.surface_code import SurfaceCodeDesign, design_asymmetric_code
+from repro.mapping.htree import HTreeEmbedding
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One feasible virtual-QRAM deployment."""
+
+    memory_size: int
+    m: int
+    k: int
+    epsilon: float
+    predicted_fidelity_z: float
+    predicted_fidelity_x: float
+    logical_qubits: int
+    grid_rows: int
+    grid_cols: int
+    needs_error_correction: bool
+    code_design: SurfaceCodeDesign | None = None
+
+    @property
+    def predicted_fidelity(self) -> float:
+        """The binding (worst-case over the two channels) fidelity bound."""
+        return min(self.predicted_fidelity_z, self.predicted_fidelity_x)
+
+    def physical_qubits(self) -> int:
+        """Physical qubits of the plan (logical count if no code is needed)."""
+        if self.code_design is None:
+            return self.logical_qubits
+        tree_logical = self.logical_qubits - self.k
+        return self.code_design.total_physical_qubits(tree_logical, self.k)
+
+    def summary(self) -> dict:
+        return {
+            "memory_size": self.memory_size,
+            "m": self.m,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "predicted_fidelity": self.predicted_fidelity,
+            "logical_qubits": self.logical_qubits,
+            "grid": f"{self.grid_rows}x{self.grid_cols}",
+            "needs_error_correction": self.needs_error_correction,
+            "physical_qubits": self.physical_qubits(),
+        }
+
+
+def logical_qubit_count(m: int, k: int) -> int:
+    """Logical qubits of the (recycled) virtual QRAM layout.
+
+    Two qubits per internal router node, one per leaf, plus the address and
+    bus registers -- the same accounting the builders use.
+    """
+    internal = (1 << m) - 1
+    leaves = 1 << m
+    return 2 * internal + leaves + m + k + 1
+
+
+def candidate_splits(memory_size: int) -> list[tuple[int, int]]:
+    """All (m, k) splits of a power-of-two memory, largest tree first."""
+    if memory_size < 2 or memory_size & (memory_size - 1):
+        raise ValueError("memory size must be a power of two and at least 2")
+    n = memory_size.bit_length() - 1
+    return [(m, n - m) for m in range(n, 0, -1)]
+
+
+def plan_deployment(
+    memory_size: int,
+    *,
+    target_fidelity: float = 0.99,
+    epsilon: float = 1e-3,
+    max_logical_qubits: int | None = None,
+    allow_error_correction: bool = True,
+    code_threshold: float = 1e-2,
+) -> DeploymentPlan | None:
+    """Choose an (m, k) split meeting the fidelity target within the qubit budget.
+
+    The search prefers the largest physical tree that fits the budget (the
+    Figure 11 guidance), and falls back to an error-corrected deployment (the
+    Sec. 5.2 asymmetric code, with the physical error rate suppressed to the
+    code's logical rate) when no bare-hardware split meets the target.
+    Returns ``None`` when no plan is feasible under the given constraints.
+    """
+    if not 0.0 < target_fidelity < 1.0:
+        raise ValueError("target fidelity must be in (0, 1)")
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError("epsilon must be in (0, 1)")
+
+    feasible_bare: list[DeploymentPlan] = []
+    feasible_corrected: list[DeploymentPlan] = []
+    for m, k in candidate_splits(memory_size):
+        logical = logical_qubit_count(m, k)
+        if max_logical_qubits is not None and logical > max_logical_qubits:
+            continue
+        embedding = HTreeEmbedding(tree_depth=m)
+        fidelity_z = virtual_z_fidelity_bound(epsilon, m, k)
+        fidelity_x = virtual_x_fidelity_bound(epsilon, m, k)
+        plan = DeploymentPlan(
+            memory_size=memory_size,
+            m=m,
+            k=k,
+            epsilon=epsilon,
+            predicted_fidelity_z=fidelity_z,
+            predicted_fidelity_x=fidelity_x,
+            logical_qubits=logical,
+            grid_rows=embedding.grid.rows,
+            grid_cols=embedding.grid.cols,
+            needs_error_correction=False,
+        )
+        if plan.predicted_fidelity >= target_fidelity:
+            feasible_bare.append(plan)
+            continue
+        if not allow_error_correction or epsilon >= code_threshold:
+            continue
+        # Error-corrected fallback: pick code distances so the *logical* error
+        # rate brings the bound above the target.
+        required_epsilon = _epsilon_for_target(target_fidelity, m, k)
+        code = design_asymmetric_code(
+            m,
+            k,
+            physical_error_rate=epsilon,
+            threshold=code_threshold,
+            target_logical_rate=required_epsilon,
+        )
+        logical_epsilon = max(
+            code.qram_code.logical_x_rate(), code.qram_code.logical_z_rate()
+        )
+        corrected = DeploymentPlan(
+            memory_size=memory_size,
+            m=m,
+            k=k,
+            epsilon=logical_epsilon,
+            predicted_fidelity_z=virtual_z_fidelity_bound(logical_epsilon, m, k),
+            predicted_fidelity_x=virtual_x_fidelity_bound(logical_epsilon, m, k),
+            logical_qubits=logical,
+            grid_rows=embedding.grid.rows,
+            grid_cols=embedding.grid.cols,
+            needs_error_correction=True,
+            code_design=code,
+        )
+        if corrected.predicted_fidelity >= target_fidelity:
+            feasible_corrected.append(corrected)
+
+    if feasible_bare:
+        # Largest tree first (the candidate order), i.e. fewest pages.
+        return feasible_bare[0]
+    if feasible_corrected:
+        return min(feasible_corrected, key=lambda plan: plan.physical_qubits())
+    return None
+
+
+def _epsilon_for_target(target_fidelity: float, m: int, k: int) -> float:
+    """Per-qubit error rate at which the binding bound reaches the target."""
+    infidelity = 1.0 - target_fidelity
+    z_coefficient = 8.0 * (m + 1) * (1 << k) * (k + m if (k + m) > 0 else 1)
+    x_coefficient = 8.0 * (m + 1) * (1 << k) * (k + 2**m)
+    return infidelity / max(z_coefficient, x_coefficient)
+
+
+def required_error_reduction(
+    memory_size: int,
+    target_fidelity: float,
+    *,
+    current_epsilon: float = 1e-3,
+) -> dict[tuple[int, int], float]:
+    """Error-reduction factor each (m, k) split needs to hit the target.
+
+    This is the planner's view of the Appendix-A question: for every split of
+    the memory, how much better than today's hardware must the error rate be?
+    """
+    requirements: dict[tuple[int, int], float] = {}
+    for m, k in candidate_splits(memory_size):
+        needed_epsilon = _epsilon_for_target(target_fidelity, m, k)
+        requirements[(m, k)] = current_epsilon / needed_epsilon
+    return requirements

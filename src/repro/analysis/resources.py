@@ -1,0 +1,170 @@
+"""Resource formulas of Tables 1 and 2, plus measured counterparts.
+
+Two complementary views are provided for each table:
+
+* the **paper formulas** (``table1_formulas`` / ``table2_formulas``), the
+  closed-form expressions printed in the paper (Table 2's entries are Big-O,
+  so constant factors are not meaningful there); and
+* the **measured rows** (``measured_table1_row`` / ``measured_table2_row``),
+  obtained by actually building the circuits with the corresponding options
+  and counting qubits, depth, classically-controlled gates and Clifford+T
+  costs.  The benchmarks print both so the scaling claims can be checked
+  against real circuits rather than formulas alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.qram.bucket_brigade import BucketBrigadeQRAM
+from repro.qram.memory import ClassicalMemory
+from repro.qram.select_swap import SelectSwapQRAM
+from repro.qram.virtual_qram import VirtualQRAM, VirtualQRAMOptions
+
+#: Table 1 column order.
+OPTIMIZATION_COLUMNS: tuple[str, ...] = ("RAW", "OPT1", "OPT2", "OPT3", "ALL")
+
+#: Options object used to build the circuit for each Table 1 column.
+OPTIMIZATION_OPTIONS: dict[str, VirtualQRAMOptions] = {
+    "RAW": VirtualQRAMOptions.raw(),
+    "OPT1": VirtualQRAMOptions.only("recycling"),
+    "OPT2": VirtualQRAMOptions.only("lazy"),
+    "OPT3": VirtualQRAMOptions.only("pipelining"),
+    "ALL": VirtualQRAMOptions.all_enabled(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 1: optimization ablation formulas (paper, Sec. 7.1)
+# ---------------------------------------------------------------------------
+
+
+def table1_formulas(m: int, k: int) -> dict[str, dict[str, float]]:
+    """Closed-form Table 1 entries for QRAM width ``m`` and SQC width ``k``.
+
+    Qubits: the RAW layout spends 6 qubits per tree cell (router, wire and a
+    dedicated data qubit per internal node plus the leaf layer); recycling
+    (OPT1) removes the dedicated data qubits, leaving 4 per cell.
+    Circuit depth: pipelining (OPT3) turns the quadratic address-loading term
+    ``m^2`` into ``m``.  Classically-controlled gates: lazy swapping (OPT2)
+    halves the expected count for uniformly random data.
+    """
+    capacity = 1 << m
+    pages = 1 << k
+
+    def depth(pipelined: bool) -> float:
+        loading = m if pipelined else m * m
+        return loading + (m + 1) * pages
+
+    def classical(lazy: bool) -> float:
+        total = (1 << (m + k)) / 2.0  # expected number of 1-bits in the memory
+        return total / 2.0 if lazy else total
+
+    def qubits(recycled: bool) -> float:
+        per_cell = 4 if recycled else 6
+        return per_cell * capacity + k
+
+    table: dict[str, dict[str, float]] = {}
+    for column in OPTIMIZATION_COLUMNS:
+        recycled = column in ("OPT1", "ALL")
+        lazy = column in ("OPT2", "ALL")
+        pipelined = column in ("OPT3", "ALL")
+        table[column] = {
+            "qubits": qubits(recycled),
+            "circuit_depth": depth(pipelined),
+            "classical_controlled_gates": classical(lazy),
+        }
+    return table
+
+
+def measured_table1_row(
+    memory: ClassicalMemory, qram_width: int
+) -> dict[str, dict[str, int]]:
+    """Table 1 measured on built circuits (one column per optimization set)."""
+    table: dict[str, dict[str, int]] = {}
+    for column in OPTIMIZATION_COLUMNS:
+        options = OPTIMIZATION_OPTIONS[column]
+        architecture = VirtualQRAM(
+            memory=memory, qram_width=qram_width, options=options
+        )
+        report = architecture.resource_report()
+        table[column] = {
+            "qubits": report.qubits,
+            "circuit_depth": report.circuit_depth,
+            "classical_controlled_gates": report.classical_controlled_gates,
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table 2: architecture comparison formulas (paper, Sec. 7.1)
+# ---------------------------------------------------------------------------
+
+#: Table 2 row labels in paper order.
+TABLE2_METRICS: tuple[str, ...] = (
+    "qubits",
+    "circuit_depth",
+    "t_count",
+    "t_depth",
+    "clifford_depth",
+)
+
+
+def table2_formulas(m: int, k: int) -> dict[str, dict[str, float]]:
+    """Big-O formulas of Table 2 evaluated at concrete ``(m, k)``.
+
+    The entries are the expressions printed in the paper with implicit
+    constants set to one; only their scaling (ratios between architectures as
+    ``m`` and ``k`` grow) is meaningful.
+    """
+    capacity = 1 << m
+    pages = 1 << k
+    return {
+        "SQC+BB": {
+            "qubits": capacity + k,
+            "circuit_depth": m * pages,
+            "t_count": (capacity + k) * pages,
+            "t_depth": (m + k) * pages,
+            "clifford_depth": (m + k) * pages,
+        },
+        "SQC+SS": {
+            "qubits": capacity + k,
+            "circuit_depth": m * m * pages,
+            "t_count": capacity + k * pages,
+            "t_depth": m + k * pages,
+            "clifford_depth": (m * m + k) * pages,
+        },
+        "Ours": {
+            "qubits": capacity + k,
+            "circuit_depth": m * pages,
+            "t_count": capacity + k * pages,
+            "t_depth": m + k * pages,
+            "clifford_depth": (m + k) * pages,
+        },
+    }
+
+
+#: Builders used for the measured Table 2 rows.
+TABLE2_BUILDERS: dict[str, Callable[[ClassicalMemory, int], object]] = {
+    "SQC+BB": lambda memory, m: BucketBrigadeQRAM(memory=memory, qram_width=m),
+    "SQC+SS": lambda memory, m: SelectSwapQRAM(memory=memory, qram_width=m),
+    "Ours": lambda memory, m: VirtualQRAM(memory=memory, qram_width=m),
+}
+
+
+def measured_table2_row(
+    memory: ClassicalMemory, qram_width: int
+) -> dict[str, dict[str, int]]:
+    """Table 2 measured on built circuits for the three compared architectures."""
+    table: dict[str, dict[str, int]] = {}
+    for label, builder in TABLE2_BUILDERS.items():
+        architecture = builder(memory, qram_width)
+        report = architecture.resource_report()
+        table[label] = {
+            "qubits": report.qubits,
+            "circuit_depth": report.circuit_depth,
+            "t_count": report.clifford_t.t_count,
+            "t_depth": report.clifford_t.t_depth,
+            "clifford_depth": report.clifford_t.clifford_depth,
+        }
+    return table

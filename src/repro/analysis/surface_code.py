@@ -1,0 +1,179 @@
+"""Asymmetric (rectangular) surface-code model for fault-tolerant QRAM (Sec. 5.2).
+
+The virtual QRAM tolerates Z errors far better than X errors, so a logical
+qubit protecting it should spend more code distance on the X-type checks than
+on the Z-type checks.  A rectangular surface code with distances ``d_x`` and
+``d_z`` has logical error rates whose *ratio* depends only on the distance
+difference (Eq. 7's premise, after Bonilla Ataides et al.):
+
+    p_x^L / p_z^L  ~=  (p / p_th) ** (d_x - d_z)
+
+Setting the residual logical X and Z infidelity contributions of the QRAM
+equal (using the bounds of Eqs. 5 and 6) gives the design rule of Eq. 7:
+
+    d_x - d_z  ~=  log((k + m) / (k + 2**m)) / log(p / p_th)
+
+The SQC address qubits have no bias to exploit, so they keep a square code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RectangularSurfaceCode:
+    """A rotated surface code patch with independent X/Z distances.
+
+    Parameters
+    ----------
+    d_x, d_z:
+        Code distances against logical X and logical Z errors.
+    physical_error_rate:
+        Per-operation physical error rate ``p``.
+    threshold:
+        Code threshold ``p_th`` (the paper's Appendix assumes ~1e-2).
+    prefactor:
+        Constant in the logical-error-rate fit ``A (p / p_th)**d``.
+    """
+
+    d_x: int
+    d_z: int
+    physical_error_rate: float = 1e-3
+    threshold: float = 1e-2
+    prefactor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.d_x < 1 or self.d_z < 1:
+            raise ValueError("code distances must be positive")
+        if not 0 < self.physical_error_rate < 1:
+            raise ValueError("physical error rate must be in (0, 1)")
+        if not 0 < self.threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        if self.physical_error_rate >= self.threshold:
+            raise ValueError("physical error rate must be below threshold")
+
+    @property
+    def ratio(self) -> float:
+        """``p / p_th`` (the suppression base)."""
+        return self.physical_error_rate / self.threshold
+
+    def logical_x_rate(self) -> float:
+        """Logical X (bit-flip) error rate, suppressed by ``d_x``."""
+        return self.prefactor * self.ratio**self.d_x
+
+    def logical_z_rate(self) -> float:
+        """Logical Z (phase-flip) error rate, suppressed by ``d_z``."""
+        return self.prefactor * self.ratio**self.d_z
+
+    def logical_bias(self) -> float:
+        """The logical error-rate ratio ``p_x^L / p_z^L = (p/p_th)^(d_x-d_z)``."""
+        return self.ratio ** (self.d_x - self.d_z)
+
+    def physical_qubits(self) -> int:
+        """Physical qubits per logical patch (data + measure, ~2 d_x d_z)."""
+        return 2 * self.d_x * self.d_z - 1
+
+
+def balanced_distance_gap(
+    m: int, k: int, physical_error_rate: float, threshold: float
+) -> float:
+    """Eq. (7): the distance gap ``d_x - d_z`` that balances logical X/Z damage.
+
+    The target ratio of logical rates equals the ratio of the virtual QRAM's
+    sensitivity coefficients, ``(k + m) / (k + 2**m)`` -- the architecture is
+    far more sensitive to X errors, so the X distance must be larger
+    (the gap is positive because the log of a ratio < 1 divided by the log of
+    ``p/p_th`` < 1 is positive).
+    """
+    if m < 1:
+        raise ValueError("QRAM width m must be at least 1")
+    if k < 0:
+        raise ValueError("SQC width k must be non-negative")
+    if not 0 < physical_error_rate < threshold:
+        raise ValueError("need 0 < p < p_th")
+    sensitivity_ratio = (k + m) / (k + 2**m)
+    return math.log(sensitivity_ratio) / math.log(physical_error_rate / threshold)
+
+
+@dataclass(frozen=True)
+class SurfaceCodeDesign:
+    """A complete code assignment for one virtual QRAM configuration."""
+
+    m: int
+    k: int
+    qram_code: RectangularSurfaceCode
+    sqc_code: RectangularSurfaceCode
+    target_logical_rate: float
+
+    def total_physical_qubits(self, logical_qram_qubits: int, logical_sqc_qubits: int) -> int:
+        """Physical qubit budget for a given count of logical qubits."""
+        return (
+            logical_qram_qubits * self.qram_code.physical_qubits()
+            + logical_sqc_qubits * self.sqc_code.physical_qubits()
+        )
+
+    def summary(self) -> dict:
+        return {
+            "m": self.m,
+            "k": self.k,
+            "qram_d_x": self.qram_code.d_x,
+            "qram_d_z": self.qram_code.d_z,
+            "sqc_distance": self.sqc_code.d_x,
+            "qram_logical_x": self.qram_code.logical_x_rate(),
+            "qram_logical_z": self.qram_code.logical_z_rate(),
+            "target_logical_rate": self.target_logical_rate,
+        }
+
+
+def design_asymmetric_code(
+    m: int,
+    k: int,
+    *,
+    physical_error_rate: float = 1e-3,
+    threshold: float = 1e-2,
+    target_logical_rate: float = 1e-9,
+    prefactor: float = 0.1,
+) -> SurfaceCodeDesign:
+    """Choose rectangular-code distances for the QRAM part and a square code for the SQC.
+
+    The Z distance is the smallest value whose logical Z rate meets
+    ``target_logical_rate``; the X distance adds the (rounded-up) balanced gap
+    of Eq. 7.  The SQC register, having no bias to exploit, uses a square code
+    at the larger of the two distances.
+    """
+    ratio = physical_error_rate / threshold
+    if ratio >= 1:
+        raise ValueError("physical error rate must be below threshold")
+
+    d_z = 1
+    while prefactor * ratio**d_z > target_logical_rate:
+        d_z += 1
+        if d_z > 1000:
+            raise RuntimeError("failed to reach the target logical rate")
+    gap = math.ceil(balanced_distance_gap(m, k, physical_error_rate, threshold))
+    d_x = d_z + max(gap, 0)
+
+    qram_code = RectangularSurfaceCode(
+        d_x=d_x,
+        d_z=d_z,
+        physical_error_rate=physical_error_rate,
+        threshold=threshold,
+        prefactor=prefactor,
+    )
+    sqc_distance = max(d_x, d_z)
+    sqc_code = RectangularSurfaceCode(
+        d_x=sqc_distance,
+        d_z=sqc_distance,
+        physical_error_rate=physical_error_rate,
+        threshold=threshold,
+        prefactor=prefactor,
+    )
+    return SurfaceCodeDesign(
+        m=m,
+        k=k,
+        qram_code=qram_code,
+        sqc_code=sqc_code,
+        target_logical_rate=target_logical_rate,
+    )

@@ -1,0 +1,72 @@
+"""Quantum circuit substrate used throughout the QRAM reproduction.
+
+This package provides a small, self-contained circuit model tailored to the
+needs of the paper "Systems Architecture for Quantum Random Access Memory"
+(MICRO 2023).  QRAM circuits are built almost exclusively from classical
+reversible gates (``X``, ``CX``, ``CCX``, ``MCX``, ``SWAP``, ``CSWAP``) plus
+Pauli error insertions, so the model is intentionally lean:
+
+* :class:`~repro.circuit.instruction.Instruction` -- a single gate application
+  (name, qubits, optional tags used for accounting such as ``"classical"`` for
+  classically-controlled gates or ``"noise"`` for injected errors).
+* :class:`~repro.circuit.circuit.QuantumCircuit` -- an ordered instruction
+  list over a fixed set of qubits, with convenience builders for every gate
+  the paper uses, ASAP-depth scheduling, inversion, and composition.
+* :class:`~repro.circuit.registers.QubitAllocator` /
+  :class:`~repro.circuit.registers.QubitRegister` -- named, contiguous groups
+  of qubit indices so QRAM builders can talk about "the bus qubit" or "the
+  level-2 routers" instead of raw integers.
+* :mod:`~repro.circuit.decompose` -- Clifford+T resource accounting (T count,
+  T depth, Clifford depth) using the standard decompositions cited by the
+  paper (Sec. 2.2.1), plus explicit gate-level decompositions of ``CCX`` and
+  ``CSWAP`` used to cross-validate the accounting in tests.
+* :mod:`~repro.circuit.scheduling` -- ASAP layering used both for logical
+  depth and for the pipelining analysis of Sec. 3.2.3.
+"""
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import (
+    CliffordTCost,
+    circuit_cost,
+    decompose_ccx,
+    decompose_cswap,
+    decompose_mcx,
+    gate_cost,
+)
+from repro.circuit.gates import (
+    ALL_GATES,
+    CLIFFORD_GATES,
+    GateSpec,
+    REVERSIBLE_CLASSICAL_GATES,
+    gate_spec,
+    is_classical_reversible,
+    is_clifford,
+)
+from repro.circuit.instruction import Instruction
+from repro.circuit.qasm import to_qasm, write_qasm
+from repro.circuit.registers import QubitAllocator, QubitRegister
+from repro.circuit.scheduling import asap_layers, circuit_depth
+
+__all__ = [
+    "ALL_GATES",
+    "CLIFFORD_GATES",
+    "CliffordTCost",
+    "GateSpec",
+    "Instruction",
+    "QuantumCircuit",
+    "QubitAllocator",
+    "QubitRegister",
+    "REVERSIBLE_CLASSICAL_GATES",
+    "asap_layers",
+    "circuit_cost",
+    "circuit_depth",
+    "decompose_ccx",
+    "decompose_cswap",
+    "decompose_mcx",
+    "gate_cost",
+    "gate_spec",
+    "is_classical_reversible",
+    "is_clifford",
+    "to_qasm",
+    "write_qasm",
+]

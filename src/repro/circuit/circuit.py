@@ -1,0 +1,276 @@
+"""The :class:`QuantumCircuit` container used by every subsystem."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.instruction import Instruction
+from repro.circuit.registers import QubitRegister
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered list of gate applications over ``num_qubits`` qubits.
+
+    The circuit is deliberately simple: there is no classical register and no
+    mid-circuit measurement.  Classically-controlled gates (conditioned on
+    bits of the classical memory being queried) are resolved at construction
+    time -- the gate is appended only when the classical condition holds, and
+    it is tagged ``"classical"`` so that Table 1's accounting of
+    classically-controlled gates can be reproduced from the built circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits the circuit acts on.
+    registers:
+        Optional named views onto the qubits (see
+        :class:`~repro.circuit.registers.QubitRegister`); purely descriptive.
+    metadata:
+        Free-form dictionary the QRAM builders use to record the architecture
+        parameters (``m``, ``k``, memory contents hash, options).
+    """
+
+    num_qubits: int
+    instructions: list[Instruction] = field(default_factory=list)
+    registers: dict[str, QubitRegister] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        for instr in self.instructions:
+            self._check_bounds(instr)
+
+    # ------------------------------------------------------------------ basics
+    def _check_bounds(self, instr: Instruction) -> None:
+        if any(q >= self.num_qubits for q in instr.qubits):
+            raise ValueError(
+                f"instruction {instr} references qubit outside "
+                f"range(0, {self.num_qubits})"
+            )
+
+    def append(self, instr: Instruction) -> None:
+        """Append a prepared :class:`Instruction`."""
+        self._check_bounds(instr)
+        self.instructions.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        """Append each instruction in ``instrs`` in order."""
+        for instr in instrs:
+            self.append(instr)
+
+    def add(self, gate: str, *qubits: int, tags: Iterable[str] = ()) -> None:
+        """Build and append an instruction from a gate name and qubit indices."""
+        self.append(Instruction(gate=gate, qubits=tuple(qubits), tags=frozenset(tags)))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    # ---------------------------------------------------------- gate builders
+    def i(self, qubit: int, **kw) -> None:
+        self.add("I", qubit, **kw)
+
+    def x(self, qubit: int, **kw) -> None:
+        self.add("X", qubit, **kw)
+
+    def y(self, qubit: int, **kw) -> None:
+        self.add("Y", qubit, **kw)
+
+    def z(self, qubit: int, **kw) -> None:
+        self.add("Z", qubit, **kw)
+
+    def h(self, qubit: int, **kw) -> None:
+        self.add("H", qubit, **kw)
+
+    def s(self, qubit: int, **kw) -> None:
+        self.add("S", qubit, **kw)
+
+    def sdg(self, qubit: int, **kw) -> None:
+        self.add("SDG", qubit, **kw)
+
+    def t(self, qubit: int, **kw) -> None:
+        self.add("T", qubit, **kw)
+
+    def tdg(self, qubit: int, **kw) -> None:
+        self.add("TDG", qubit, **kw)
+
+    def cx(self, control: int, target: int, **kw) -> None:
+        self.add("CX", control, target, **kw)
+
+    def cz(self, control: int, target: int, **kw) -> None:
+        self.add("CZ", control, target, **kw)
+
+    def swap(self, a: int, b: int, **kw) -> None:
+        self.add("SWAP", a, b, **kw)
+
+    def ccx(self, control_a: int, control_b: int, target: int, **kw) -> None:
+        self.add("CCX", control_a, control_b, target, **kw)
+
+    def cswap(self, control: int, a: int, b: int, **kw) -> None:
+        self.add("CSWAP", control, a, b, **kw)
+
+    def mcx(self, controls: Sequence[int], target: int, **kw) -> None:
+        """Multi-controlled X.  With 1 (2) controls a ``CX`` (``CCX``) is emitted."""
+        controls = tuple(controls)
+        if len(controls) == 0:
+            self.add("X", target, **kw)
+        elif len(controls) == 1:
+            self.add("CX", controls[0], target, **kw)
+        elif len(controls) == 2:
+            self.add("CCX", controls[0], controls[1], target, **kw)
+        else:
+            self.add("MCX", *controls, target, **kw)
+
+    def mcx_on_pattern(
+        self,
+        controls: Sequence[int],
+        pattern: int,
+        target: int,
+        **kw,
+    ) -> None:
+        """Multi-controlled X that fires when ``controls`` encode ``pattern``.
+
+        ``pattern`` is interpreted with ``controls[0]`` as the most significant
+        bit.  Controls whose pattern bit is 0 are conjugated by ``X`` gates so
+        the overall gate triggers on the requested bit-string, which is how the
+        SQC/QROM and the page-selection MCX of the virtual QRAM condition on a
+        specific address value.
+        """
+        controls = tuple(controls)
+        width = len(controls)
+        if pattern < 0 or pattern >= (1 << max(width, 1)) and width > 0:
+            raise ValueError(f"pattern {pattern} does not fit in {width} controls")
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (pattern >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            self.x(q)
+        self.mcx(controls, target, **kw)
+        for q in zero_controls:
+            self.x(q)
+
+    def barrier(self, *qubits: int) -> None:
+        """Insert a scheduling barrier.
+
+        With no arguments the barrier synchronises every qubit in the circuit;
+        otherwise only the listed qubits.  Barriers are ignored by the
+        simulators and by gate counting but respected by depth scheduling,
+        which is how the *non*-pipelined address-loading schedule (Sec. 3.2.3)
+        is modelled.
+        """
+        targets = qubits if qubits else tuple(range(self.num_qubits))
+        self.append(Instruction(gate="BARRIER", qubits=targets))
+
+    # -------------------------------------------------------------- transforms
+    def copy(self) -> "QuantumCircuit":
+        """Shallow-copy the circuit (instructions are immutable)."""
+        return QuantumCircuit(
+            num_qubits=self.num_qubits,
+            instructions=list(self.instructions),
+            registers=dict(self.registers),
+            metadata=dict(self.metadata),
+        )
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (gates inverted, order reversed)."""
+        inv = QuantumCircuit(
+            num_qubits=self.num_qubits,
+            registers=dict(self.registers),
+            metadata=dict(self.metadata),
+        )
+        for instr in reversed(self.instructions):
+            inv.append(instr.inverse())
+        return inv
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``.
+
+        Both circuits must have the same qubit count; registers of ``self``
+        take precedence on name clashes.
+        """
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compose circuits with different qubit counts")
+        merged = self.copy()
+        merged.extend(other.instructions)
+        for name, reg in other.registers.items():
+            merged.registers.setdefault(name, reg)
+        return merged
+
+    def without_barriers(self) -> "QuantumCircuit":
+        """Return a copy with all barriers removed (used to model pipelining)."""
+        out = QuantumCircuit(
+            num_qubits=self.num_qubits,
+            registers=dict(self.registers),
+            metadata=dict(self.metadata),
+        )
+        out.extend(instr for instr in self.instructions if not instr.is_barrier)
+        return out
+
+    def remapped(self, mapping: dict[int, int], num_qubits: int) -> "QuantumCircuit":
+        """Return a copy acting on a new qubit index space via ``mapping``."""
+        out = QuantumCircuit(num_qubits=num_qubits, metadata=dict(self.metadata))
+        out.extend(instr.remapped(mapping) for instr in self.instructions)
+        return out
+
+    # -------------------------------------------------------------- accounting
+    @property
+    def gates(self) -> list[Instruction]:
+        """All physical gates (barriers excluded)."""
+        return [instr for instr in self.instructions if not instr.is_barrier]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of physical gates (barriers excluded)."""
+        return len(self.gates)
+
+    def count_ops(self, include_noise: bool = True) -> Counter:
+        """Histogram of gate names.
+
+        Parameters
+        ----------
+        include_noise:
+            When False, gates tagged ``"noise"`` (Pauli errors inserted by a
+            noise model) are excluded so that logical resource counts are not
+            polluted by error injection.
+        """
+        counter: Counter = Counter()
+        for instr in self.gates:
+            if not include_noise and instr.is_noise:
+                continue
+            counter[instr.gate] += 1
+        return counter
+
+    def count_tagged(self, tag: str) -> int:
+        """Number of gates carrying ``tag`` (e.g. ``"classical"``)."""
+        return sum(1 for instr in self.gates if tag in instr.tags)
+
+    def used_qubits(self) -> set[int]:
+        """Set of qubit indices touched by at least one gate."""
+        used: set[int] = set()
+        for instr in self.gates:
+            used.update(instr.qubits)
+        return used
+
+    def depth(self, *, respect_barriers: bool = True) -> int:
+        """ASAP circuit depth (see :mod:`repro.circuit.scheduling`)."""
+        from repro.circuit.scheduling import circuit_depth
+
+        return circuit_depth(self, respect_barriers=respect_barriers)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = f"QuantumCircuit({self.num_qubits} qubits, {self.num_gates} gates)"
+        body = "\n".join(f"  {instr}" for instr in self.instructions[:50])
+        if len(self.instructions) > 50:
+            body += f"\n  ... ({len(self.instructions) - 50} more)"
+        return f"{header}\n{body}"

@@ -1,0 +1,93 @@
+"""A single gate application inside a :class:`~repro.circuit.circuit.QuantumCircuit`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gates import gate_spec, inverse_gate_name, validate_arity
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate applied to a concrete tuple of qubits.
+
+    Attributes
+    ----------
+    gate:
+        Canonical gate name (see :mod:`repro.circuit.gates`).
+    qubits:
+        Qubit indices the gate acts on.  For ``MCX`` the last index is the
+        target and all preceding ones are controls.  For ``CSWAP`` the first
+        index is the control.
+    tags:
+        Free-form labels used for accounting.  The QRAM builders use
+        ``"classical"`` for classically-controlled gates (Table 1 counts
+        these), ``"noise"`` for Pauli errors injected by a noise model and
+        ``"routing"`` for communication operations added by the mapper.
+    """
+
+    gate: str
+    qubits: tuple[int, ...]
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.gate)
+        object.__setattr__(self, "gate", spec.name)
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "tags", frozenset(self.tags))
+        validate_arity(spec.name, len(self.qubits))
+        if spec.name != "BARRIER" and len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubit operands in {spec.name}: {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"negative qubit index in {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    @property
+    def is_barrier(self) -> bool:
+        """True for synchronisation barriers (they are not physical gates)."""
+        return self.gate == "BARRIER"
+
+    @property
+    def is_noise(self) -> bool:
+        """True for Pauli errors injected by a noise model."""
+        return "noise" in self.tags
+
+    @property
+    def is_classically_controlled(self) -> bool:
+        """True for gates whose application was conditioned on classical data."""
+        return "classical" in self.tags
+
+    def controls_and_target(self) -> tuple[tuple[int, ...], int]:
+        """Split an ``MCX``/``CX``/``CCX`` instruction into (controls, target)."""
+        if self.gate not in ("CX", "CCX", "MCX"):
+            raise ValueError(f"{self.gate} has no (controls, target) structure")
+        return self.qubits[:-1], self.qubits[-1]
+
+    def inverse(self) -> "Instruction":
+        """Return the instruction implementing the inverse gate."""
+        return Instruction(
+            gate=inverse_gate_name(self.gate), qubits=self.qubits, tags=self.tags
+        )
+
+    def remapped(self, mapping: dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        return Instruction(
+            gate=self.gate,
+            qubits=tuple(mapping[q] for q in self.qubits),
+            tags=self.tags,
+        )
+
+    def with_tags(self, *extra: str) -> "Instruction":
+        """Return a copy with ``extra`` labels added to :attr:`tags`."""
+        return Instruction(
+            gate=self.gate, qubits=self.qubits, tags=self.tags | frozenset(extra)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        qubits = ", ".join(str(q) for q in self.qubits)
+        suffix = f"  # {','.join(sorted(self.tags))}" if self.tags else ""
+        return f"{self.gate}({qubits}){suffix}"

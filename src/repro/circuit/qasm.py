@@ -1,0 +1,139 @@
+"""OpenQASM 2.0 export for the circuits built by this library.
+
+The reproduction is self-contained, but downstream users frequently want to
+inspect or transpile the generated QRAM circuits with external tooling
+(Qiskit, tket, staq, ...).  This module serialises any
+:class:`~repro.circuit.circuit.QuantumCircuit` into OpenQASM 2.0:
+
+* the reversible-classical gates map to the standard library (``x``, ``cx``,
+  ``ccx``, ``swap``, ``cswap``);
+* ``MCX`` gates with more than two controls are exported via the V-chain
+  decomposition of :func:`repro.circuit.decompose.decompose_mcx`, with the
+  required clean ancillae appended as an extra register;
+* barriers are preserved, and noise-tagged Pauli insertions can be included
+  or skipped.
+
+The exporter is intentionally one-way: parsing QASM back is out of scope.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_mcx
+from repro.circuit.instruction import Instruction
+
+#: Gate-name translation for instructions that map 1:1 onto qelib1.inc.
+_DIRECT_GATES = {
+    "I": "id",
+    "X": "x",
+    "Y": "y",
+    "Z": "z",
+    "H": "h",
+    "S": "s",
+    "SDG": "sdg",
+    "T": "t",
+    "TDG": "tdg",
+    "CX": "cx",
+    "CZ": "cz",
+    "SWAP": "swap",
+    "CCX": "ccx",
+    "CSWAP": "cswap",
+}
+
+
+def _max_extra_ancillae(circuit: QuantumCircuit) -> int:
+    """Clean ancillae needed to export every MCX in the circuit."""
+    needed = 0
+    for instr in circuit.gates:
+        if instr.gate == "MCX":
+            controls = len(instr.qubits) - 1
+            needed = max(needed, max(controls - 2, 0))
+    return needed
+
+
+def _format_direct(instr: Instruction, register: str) -> str:
+    name = _DIRECT_GATES[instr.gate]
+    operands = ", ".join(f"{register}[{qubit}]" for qubit in instr.qubits)
+    return f"{name} {operands};"
+
+
+def to_qasm(
+    circuit: QuantumCircuit,
+    *,
+    include_noise: bool = False,
+    register_name: str = "q",
+) -> str:
+    """Serialise ``circuit`` to an OpenQASM 2.0 program string.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to export.
+    include_noise:
+        When False (default) Pauli instructions tagged ``"noise"`` are dropped
+        so the export reflects the logical circuit.
+    register_name:
+        Name of the main quantum register.  MCX ancillae, if any are needed,
+        are placed in a second register called ``anc``.
+    """
+    ancillae_needed = _max_extra_ancillae(circuit)
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register_name}[{circuit.num_qubits}];",
+    ]
+    if ancillae_needed:
+        lines.append(f"qreg anc[{ancillae_needed}];")
+
+    comments = {
+        name: f"// register {name}: qubits {list(reg.qubits)}"
+        for name, reg in circuit.registers.items()
+        if len(reg) > 0
+    }
+    lines.extend(comments.values())
+
+    for instr in circuit.instructions:
+        if instr.is_noise and not include_noise:
+            continue
+        if instr.is_barrier:
+            if instr.qubits:
+                operands = ", ".join(f"{register_name}[{q}]" for q in instr.qubits)
+                lines.append(f"barrier {operands};")
+            else:
+                lines.append(f"barrier {register_name};")
+            continue
+        if instr.gate in _DIRECT_GATES:
+            lines.append(_format_direct(instr, register_name))
+            continue
+        if instr.gate == "MCX":
+            controls, target = instr.controls_and_target()
+            if len(controls) <= 2:
+                lines.append(
+                    _format_direct(
+                        Instruction(gate="CCX" if len(controls) == 2 else "CX",
+                                    qubits=instr.qubits),
+                        register_name,
+                    )
+                )
+                continue
+            # Export through the V-chain; the ancilla register supplies clean
+            # workspace, referenced with a sentinel offset so the decomposition
+            # (which works on flat indices) can be re-targeted per operand.
+            sentinel = circuit.num_qubits
+            ancilla_indices = tuple(range(sentinel, sentinel + len(controls) - 2))
+            for sub in decompose_mcx(controls, target, ancilla_indices):
+                operands = ", ".join(
+                    f"anc[{qubit - sentinel}]" if qubit >= sentinel else f"{register_name}[{qubit}]"
+                    for qubit in sub.qubits
+                )
+                lines.append(f"ccx {operands};")
+            continue
+        raise ValueError(f"gate {instr.gate} has no OpenQASM export")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm(circuit: QuantumCircuit, path: str, **kwargs) -> None:
+    """Write :func:`to_qasm` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_qasm(circuit, **kwargs))

@@ -1,0 +1,92 @@
+"""Named qubit registers and a simple contiguous allocator.
+
+The QRAM builders need to address dozens of structurally distinct groups of
+qubits (address qubits, the bus, per-level router qubits, leaf data qubits,
+...).  Working with raw integer indices quickly becomes unreadable, so each
+builder allocates named registers through :class:`QubitAllocator` and the
+resulting :class:`QubitRegister` objects are kept on the built circuit for
+introspection by the simulator, the mapper and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class QubitRegister:
+    """A named, ordered collection of qubit indices."""
+
+    name: str
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"register {self.name!r} has duplicate qubits")
+
+    def __len__(self) -> int:
+        return len(self.qubits)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.qubits)
+
+    def __getitem__(self, index: int) -> int:
+        return self.qubits[index]
+
+    def __contains__(self, qubit: int) -> bool:
+        return qubit in self.qubits
+
+
+@dataclass
+class QubitAllocator:
+    """Hands out contiguous qubit indices and remembers them by name.
+
+    Example
+    -------
+    >>> alloc = QubitAllocator()
+    >>> address = alloc.register("address", 3)
+    >>> bus = alloc.register("bus", 1)
+    >>> alloc.num_qubits
+    4
+    >>> address.qubits, bus.qubits
+    ((0, 1, 2), (3,))
+    """
+
+    _next: int = 0
+    _registers: dict[str, QubitRegister] = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits allocated so far."""
+        return self._next
+
+    @property
+    def registers(self) -> dict[str, QubitRegister]:
+        """Mapping from register name to register (insertion ordered)."""
+        return dict(self._registers)
+
+    def register(self, name: str, size: int) -> QubitRegister:
+        """Allocate ``size`` fresh qubits under ``name``.
+
+        A ``size`` of zero is allowed and produces an empty register, which is
+        convenient for optional structures (e.g. the SQC address register when
+        ``k == 0``).
+        """
+        if name in self._registers:
+            raise ValueError(f"register {name!r} already allocated")
+        if size < 0:
+            raise ValueError("register size must be non-negative")
+        qubits = tuple(range(self._next, self._next + size))
+        self._next += size
+        reg = QubitRegister(name=name, qubits=qubits)
+        self._registers[name] = reg
+        return reg
+
+    def get(self, name: str) -> QubitRegister:
+        """Return a previously allocated register by name."""
+        return self._registers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registers

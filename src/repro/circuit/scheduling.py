@@ -1,0 +1,104 @@
+"""ASAP scheduling of circuits into layers of non-overlapping gates.
+
+Circuit depth in this library is always the ASAP (as-soon-as-possible) depth:
+each gate is placed in the earliest layer in which none of its operand qubits
+is still busy.  Barriers force every listed qubit to synchronise, which is how
+the naive (non-pipelined) address-loading schedule of Sec. 3.2.3 is modelled:
+the builder inserts a barrier after each address qubit finishes routing, and
+the pipelined variant simply omits the barriers, letting ASAP scheduling
+overlap consecutive address qubits exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.circuit.instruction import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import QuantumCircuit
+
+
+def asap_layers(
+    circuit: "QuantumCircuit",
+    *,
+    respect_barriers: bool = True,
+    include_noise: bool = False,
+) -> list[list[Instruction]]:
+    """Group the circuit's gates into ASAP layers.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to schedule.
+    respect_barriers:
+        When True (default) a ``BARRIER`` forces all its qubits to the same
+        frontier before later gates are scheduled.  When False barriers are
+        ignored entirely.
+    include_noise:
+        When False (default) instructions tagged ``"noise"`` are skipped, so
+        that depth reflects the logical circuit rather than injected errors.
+
+    Returns
+    -------
+    list of layers, each a list of :class:`Instruction` that act on disjoint
+    qubits and can execute simultaneously.
+    """
+    frontier = [0] * circuit.num_qubits
+    layers: list[list[Instruction]] = []
+
+    for instr in circuit.instructions:
+        if instr.is_barrier:
+            if respect_barriers:
+                qubits = instr.qubits if instr.qubits else range(circuit.num_qubits)
+                sync = max((frontier[q] for q in qubits), default=0)
+                for q in qubits:
+                    frontier[q] = sync
+            continue
+        if not include_noise and instr.is_noise:
+            continue
+        layer_index = max((frontier[q] for q in instr.qubits), default=0)
+        while len(layers) <= layer_index:
+            layers.append([])
+        layers[layer_index].append(instr)
+        for q in instr.qubits:
+            frontier[q] = layer_index + 1
+
+    return layers
+
+
+def circuit_depth(
+    circuit: "QuantumCircuit",
+    *,
+    respect_barriers: bool = True,
+    include_noise: bool = False,
+) -> int:
+    """Number of ASAP layers of ``circuit`` (0 for an empty circuit)."""
+    return len(
+        asap_layers(
+            circuit,
+            respect_barriers=respect_barriers,
+            include_noise=include_noise,
+        )
+    )
+
+
+def layer_widths(circuit: "QuantumCircuit", **kwargs) -> list[int]:
+    """Number of gates in each ASAP layer (useful for parallelism analysis)."""
+    return [len(layer) for layer in asap_layers(circuit, **kwargs)]
+
+
+def critical_path_qubits(circuit: "QuantumCircuit") -> set[int]:
+    """Qubits that appear in at least one gate of the final (deepest) layer.
+
+    This is a cheap proxy for identifying the critical path; the mapping
+    benchmarks use it to report which registers dominate latency after
+    routing overhead is added.
+    """
+    layers = asap_layers(circuit)
+    if not layers:
+        return set()
+    qubits: set[int] = set()
+    for instr in layers[-1]:
+        qubits.update(instr.qubits)
+    return qubits

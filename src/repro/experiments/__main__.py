@@ -1,0 +1,144 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1 [--out results/]
+    python -m repro.experiments fig9 --shots 256 [--out results/]
+    python -m repro.experiments all --quick
+
+Each experiment prints the same rows/series the paper reports (via the
+``*_report`` helpers) and, when ``--out`` is given, also writes the raw
+records as CSV and Markdown through :mod:`repro.experiments.export`.
+
+The ``--quick`` flag shrinks shot counts and sweep ranges so a full
+regeneration finishes in a couple of minutes on a laptop; omit it for the
+paper-scale parameters recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    fig8_report,
+    fig9_report,
+    fig10_report,
+    fig11_report,
+    fig12_report,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+    table1_report,
+    table2_report,
+)
+from repro.experiments.export import export_experiment
+
+
+def _table1(args) -> tuple[str, list[dict]]:
+    return table1_report(m=args.m, k=args.k), run_table1(args.m, args.k)
+
+
+def _table2(args) -> tuple[str, list[dict]]:
+    configurations = [(2, 1), (3, 2)] if args.quick else [(2, 1), (3, 2), (4, 3)]
+    return table2_report(configurations), run_table2(configurations)
+
+
+def _fig8(args) -> tuple[str, list[dict]]:
+    widths = tuple(range(1, 7)) if args.quick else tuple(range(1, 10))
+    return fig8_report(widths), run_fig8(widths)
+
+
+def _fig9(args) -> tuple[str, list[dict]]:
+    widths = (1, 2, 3, 4) if args.quick else (1, 2, 3, 4, 5, 6)
+    shots = args.shots or (128 if args.quick else 1024)
+    return fig9_report(widths, shots=shots), run_fig9(widths, shots=shots)
+
+
+def _fig10(args) -> tuple[str, list[dict]]:
+    widths = (1, 2, 3) if args.quick else (1, 2, 3, 4, 5, 6)
+    shots = args.shots or (128 if args.quick else 1024)
+    return (
+        fig10_report(widths, shots=shots),
+        run_fig10(widths, shots=shots),
+    )
+
+
+def _fig11(args) -> tuple[str, list[dict]]:
+    qram_widths = (1, 2) if args.quick else (1, 2, 3, 4)
+    sqc_widths = (0, 1, 2) if args.quick else (0, 1, 2, 3)
+    shots = args.shots or (128 if args.quick else 512)
+    return (
+        fig11_report(qram_widths, sqc_widths, shots=shots),
+        run_fig11(qram_widths, sqc_widths, shots=shots),
+    )
+
+
+def _fig12(args) -> tuple[str, list[dict]]:
+    shots = args.shots or (100 if args.quick else 200)
+    return fig12_report(shots=shots), run_fig12(shots=shots)
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the MICRO 2023 QRAM paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('all' for every one, 'list' to enumerate)",
+    )
+    parser.add_argument("--shots", type=int, default=None, help="Monte-Carlo shots override")
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast run")
+    parser.add_argument("--m", type=int, default=4, help="QRAM width for table1")
+    parser.add_argument("--k", type=int, default=2, help="SQC width for table1")
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="directory to write CSV/Markdown records into",
+    )
+    return parser
+
+
+def run_experiment(name: str, args) -> None:
+    report, records = EXPERIMENTS[name](args)
+    print(report)
+    if args.out:
+        paths = export_experiment(records, args.out, name)
+        print(f"[{name}] wrote {paths['csv']} and {paths['markdown']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Exporting experiment records to CSV and Markdown.
+
+The experiment runners return lists of plain dictionaries; this module turns
+them into artefacts that can be checked into a paper repository or compared
+across runs: CSV files (one row per record) and Markdown tables (for
+EXPERIMENTS.md-style reports).  Only the standard library is used so exports
+work in any environment the simulator runs in.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+def collect_columns(records: Iterable[Mapping[str, object]]) -> list[str]:
+    """Union of the record keys, in first-seen order."""
+    columns: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def records_to_csv(
+    records: Sequence[Mapping[str, object]],
+    path: str | Path,
+    *,
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write ``records`` to ``path`` as CSV and return the path.
+
+    Missing keys are written as empty cells; the column order defaults to
+    first-seen order across all records.
+    """
+    if not records:
+        raise ValueError("cannot export an empty record list")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(columns) if columns is not None else collect_columns(records)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: record.get(key, "") for key in fieldnames})
+    return path
+
+
+def records_to_markdown(
+    records: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_precision: int = 4,
+) -> str:
+    """Render ``records`` as a GitHub-flavoured Markdown table."""
+    if not records:
+        raise ValueError("cannot render an empty record list")
+    fieldnames = list(columns) if columns is not None else collect_columns(records)
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_precision}g}"
+        return str(value)
+
+    header = "| " + " | ".join(fieldnames) + " |"
+    separator = "| " + " | ".join("---" for _ in fieldnames) + " |"
+    rows = [
+        "| " + " | ".join(render(record.get(key, "")) for key in fieldnames) + " |"
+        for record in records
+    ]
+    return "\n".join([header, separator, *rows])
+
+
+def export_experiment(
+    records: Sequence[Mapping[str, object]],
+    output_directory: str | Path,
+    name: str,
+) -> dict[str, Path]:
+    """Write both a CSV and a Markdown rendering of one experiment's records.
+
+    Returns the mapping ``{"csv": path, "markdown": path}``.
+    """
+    output_directory = Path(output_directory)
+    output_directory.mkdir(parents=True, exist_ok=True)
+    csv_path = records_to_csv(records, output_directory / f"{name}.csv")
+    markdown_path = output_directory / f"{name}.md"
+    markdown_path.write_text(records_to_markdown(records) + "\n", encoding="utf-8")
+    return {"csv": csv_path, "markdown": markdown_path}

@@ -1,0 +1,41 @@
+"""Device models and routing for the Appendix-A hardware study (Figure 12).
+
+The paper evaluates small virtual QRAMs under realistic IBM Quantum noise
+models (``ibm_perth`` for ``m = 1`` and ``ibmq_guadalupe`` for ``m = 2``).
+Neither Qiskit nor the IBM calibration service is available offline, so this
+package substitutes:
+
+* :mod:`~repro.hardware.devices` -- the two devices' public coupling maps and
+  synthetic calibration data at the error-rate scale the paper assumes
+  (~1e-3), scalable by the error-reduction factor ``eps_r``;
+* :mod:`~repro.hardware.noise_model` -- a gate-based noise model derived from
+  a device's calibration, distinguishing one- and two-qubit gate errors;
+* :mod:`~repro.hardware.router` -- a lightweight greedy swap-insertion router
+  standing in for Qiskit's SABRE pass: it makes remote gates executable on the
+  sparse coupling map and reports the extra SWAP count that Figure 12 lists
+  under its legend.
+
+The substitution preserves what Figure 12 actually measures: how the extra
+SWAPs forced by sparse connectivity and the overall error scale affect query
+fidelity as hardware improves.
+"""
+
+from repro.hardware.devices import (
+    DEVICES,
+    DeviceModel,
+    ibm_perth_like,
+    ibmq_guadalupe_like,
+)
+from repro.hardware.noise_model import DeviceNoiseModel, device_noise_model
+from repro.hardware.router import GreedySwapRouter, RoutedCircuit
+
+__all__ = [
+    "DEVICES",
+    "DeviceModel",
+    "DeviceNoiseModel",
+    "GreedySwapRouter",
+    "RoutedCircuit",
+    "device_noise_model",
+    "ibm_perth_like",
+    "ibmq_guadalupe_like",
+]

@@ -1,0 +1,139 @@
+"""Synthetic models of the IBM Quantum devices used in Appendix A.
+
+Only the devices' *topologies* and the order of magnitude of their error
+rates matter for Figure 12 (the figure sweeps an error-reduction factor on
+top of them), so each device is described by its public coupling map plus
+representative calibration numbers at the ~1e-3 error scale the paper assumes
+for "current hardware".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A hardware backend: qubit count, coupling map and calibration summary.
+
+    Attributes
+    ----------
+    name:
+        Backend name (suffixed ``-like`` because the calibration is synthetic).
+    num_qubits:
+        Number of physical qubits.
+    coupling_map:
+        Undirected two-qubit connectivity as ``(a, b)`` pairs.
+    single_qubit_error:
+        Representative single-qubit gate error rate.
+    two_qubit_error:
+        Representative two-qubit gate (CX/ECR) error rate.
+    readout_error:
+        Representative measurement error rate (reported for completeness; the
+        fidelity experiments measure state overlap and do not add readout
+        noise).
+    """
+
+    name: str
+    num_qubits: int
+    coupling_map: tuple[tuple[int, int], ...]
+    single_qubit_error: float = 3e-4
+    two_qubit_error: float = 1e-2
+    readout_error: float = 2e-2
+
+    def __post_init__(self) -> None:
+        for a, b in self.coupling_map:
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"coupling edge ({a}, {b}) outside device")
+            if a == b:
+                raise ValueError("self-coupling edge")
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.coupling_map)
+        return graph
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return (a, b) in self.coupling_map or (b, a) in self.coupling_map
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance on the coupling map."""
+        return nx.shortest_path_length(self.to_networkx(), a, b)
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        return nx.shortest_path(self.to_networkx(), a, b)
+
+    def average_degree(self) -> float:
+        return 2 * len(self.coupling_map) / self.num_qubits
+
+
+def ibm_perth_like() -> DeviceModel:
+    """7-qubit Falcon r5.11H device (H-shaped heavy-hex fragment).
+
+    Topology::
+
+        0 - 1 - 2
+            |
+            3
+            |
+        4 - 5 - 6
+    """
+    return DeviceModel(
+        name="ibm_perth-like",
+        num_qubits=7,
+        coupling_map=((0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)),
+    )
+
+
+def ibmq_guadalupe_like() -> DeviceModel:
+    """16-qubit Falcon r4P device (heavy-hex lattice fragment)."""
+    return DeviceModel(
+        name="ibmq_guadalupe-like",
+        num_qubits=16,
+        coupling_map=(
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+        ),
+    )
+
+
+def grid_device(rows: int, cols: int, name: str | None = None) -> DeviceModel:
+    """An ideal 2D square-grid device (the Sec. 6.3 connectivity assumption)."""
+    num_qubits = rows * cols
+    edges: list[tuple[int, int]] = []
+    for row in range(rows):
+        for col in range(cols):
+            index = row * cols + col
+            if col + 1 < cols:
+                edges.append((index, index + 1))
+            if row + 1 < rows:
+                edges.append((index, index + cols))
+    return DeviceModel(
+        name=name or f"grid-{rows}x{cols}",
+        num_qubits=num_qubits,
+        coupling_map=tuple(edges),
+    )
+
+
+#: Registry of named devices used by the Figure 12 experiment.
+DEVICES: dict[str, DeviceModel] = {
+    "ibm_perth": ibm_perth_like(),
+    "ibmq_guadalupe": ibmq_guadalupe_like(),
+}

@@ -1,0 +1,47 @@
+"""Mapping QRAM onto 2D nearest-neighbour hardware (Sec. 4 of the paper).
+
+The router tree of a capacity-``M`` QRAM must be embedded into the sparse
+connectivity of real hardware (a 2D square grid for superconducting NISQ
+devices or surface-code FTQC layouts).  This package provides:
+
+* :class:`~repro.mapping.grid.Grid2D` -- the hardware connectivity graph;
+* :class:`~repro.mapping.htree.HTreeEmbedding` -- the recursive H-tree
+  placement of the complete binary tree (Sec. 4.2), classifying every grid
+  vertex as a QRAM node, a routing qubit or unused;
+* :mod:`~repro.mapping.embedding` -- verification that the placement is a
+  *topological minor* embedding (tree edges map to vertex-disjoint grid
+  paths), the property that makes teleportation-based routing possible;
+* :mod:`~repro.mapping.routing` -- the two communication schemes compared in
+  Figure 8: swap-based routing (depth linear in distance) and
+  teleportation-based routing via entanglement swapping (constant depth);
+* :class:`~repro.mapping.mapped_circuit.MappedQRAM` -- applies an embedding to
+  a built QRAM circuit and accounts the extra communication operations and
+  depth, reproducing Figure 8's overhead comparison.
+"""
+
+from repro.mapping.embedding import EmbeddingReport, verify_topological_minor
+from repro.mapping.grid import Grid2D
+from repro.mapping.htree import HTreeEmbedding, QubitRole
+from repro.mapping.mapped_circuit import MappedQRAM, MappingOverhead
+from repro.mapping.render import render_layout, render_levels, render_overhead_summary
+from repro.mapping.routing import (
+    RoutingScheme,
+    SwapRouting,
+    TeleportationRouting,
+)
+
+__all__ = [
+    "EmbeddingReport",
+    "Grid2D",
+    "HTreeEmbedding",
+    "MappedQRAM",
+    "MappingOverhead",
+    "QubitRole",
+    "RoutingScheme",
+    "SwapRouting",
+    "TeleportationRouting",
+    "render_layout",
+    "render_levels",
+    "render_overhead_summary",
+    "verify_topological_minor",
+]

@@ -1,0 +1,90 @@
+"""Topological-minor verification of tree embeddings (Sec. 4.2).
+
+The teleportation-based routing scheme requires that no routing qubit carry
+logical information: every tree edge must map to a grid path whose *interior*
+vertices are dedicated to that edge alone and host no tree node.  That is
+precisely the definition of a topological minor embedding, and this module
+checks it exhaustively for a given :class:`~repro.mapping.htree.HTreeEmbedding`
+(or any object exposing ``node_positions`` and ``edge_paths``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.grid import Coordinate
+from repro.mapping.htree import HTreeEmbedding
+
+
+@dataclass
+class EmbeddingReport:
+    """Result of verifying an embedding."""
+
+    is_topological_minor: bool
+    problems: list[str] = field(default_factory=list)
+    num_nodes: int = 0
+    num_edges: int = 0
+    num_routing_vertices: int = 0
+
+    def __bool__(self) -> bool:
+        return self.is_topological_minor
+
+
+def verify_topological_minor(embedding: HTreeEmbedding) -> EmbeddingReport:
+    """Check the three topological-minor conditions of the H-tree placement.
+
+    1. Distinct tree nodes occupy distinct grid vertices.
+    2. Every edge path is a valid grid path between its endpoints' positions
+       (consecutive vertices adjacent, endpoints correct).
+    3. Interior path vertices are not occupied by any tree node and are not
+       shared between different edges.
+    """
+    problems: list[str] = []
+
+    node_positions = embedding.node_positions
+    position_to_node: dict[Coordinate, tuple[int, int]] = {}
+    for node, position in node_positions.items():
+        if not embedding.grid.contains(position):
+            problems.append(f"node {node} placed off-grid at {position}")
+        if position in position_to_node:
+            problems.append(
+                f"nodes {position_to_node[position]} and {node} collide at {position}"
+            )
+        position_to_node[position] = node
+
+    interior_owner: dict[Coordinate, tuple] = {}
+    routing_vertices: set[Coordinate] = set()
+    for (parent, child), path in embedding.edge_paths.items():
+        if len(path) < 2:
+            problems.append(f"edge {parent}->{child} has a degenerate path")
+            continue
+        if path[0] != node_positions[parent] or path[-1] != node_positions[child]:
+            problems.append(f"edge {parent}->{child} path endpoints are wrong")
+        for first, second in zip(path, path[1:]):
+            if embedding.grid.manhattan_distance(first, second) != 1:
+                problems.append(
+                    f"edge {parent}->{child} path is not a grid path at {first}->{second}"
+                )
+                break
+        for vertex in path[1:-1]:
+            if vertex in position_to_node:
+                problems.append(
+                    f"edge {parent}->{child} passes through node "
+                    f"{position_to_node[vertex]} at {vertex}"
+                )
+            previous_owner = interior_owner.get(vertex)
+            if previous_owner is not None and previous_owner != (parent, child):
+                problems.append(
+                    f"routing vertex {vertex} shared by edges {previous_owner} "
+                    f"and {(parent, child)}"
+                )
+            interior_owner[vertex] = (parent, child)
+            routing_vertices.add(vertex)
+
+    return EmbeddingReport(
+        is_topological_minor=not problems,
+        problems=problems,
+        num_nodes=len(node_positions),
+        num_edges=len(embedding.edge_paths),
+        num_routing_vertices=len(routing_vertices),
+    )

@@ -1,0 +1,84 @@
+"""2D square-grid hardware connectivity (the NISQ/FTQC substrate of Sec. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+Coordinate = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A ``rows x cols`` square grid of physical qubits with nearest-neighbour edges.
+
+    Coordinates are ``(row, col)`` pairs; two qubits are connected when their
+    Manhattan distance is 1.  This is the 2D square-grid connectivity the
+    paper assumes for both NISQ devices and surface-code FTQC layouts
+    (Sec. 6.3).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+    def contains(self, coordinate: Coordinate) -> bool:
+        row, col = coordinate
+        return 0 <= row < self.rows and 0 <= col < self.cols
+
+    def coordinates(self) -> list[Coordinate]:
+        """All grid coordinates in row-major order."""
+        return [(row, col) for row in range(self.rows) for col in range(self.cols)]
+
+    def index(self, coordinate: Coordinate) -> int:
+        """Row-major integer index of ``coordinate``."""
+        if not self.contains(coordinate):
+            raise ValueError(f"{coordinate} outside {self.rows}x{self.cols} grid")
+        row, col = coordinate
+        return row * self.cols + col
+
+    def neighbors(self, coordinate: Coordinate) -> list[Coordinate]:
+        row, col = coordinate
+        candidates = [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]
+        return [c for c in candidates if self.contains(c)]
+
+    @staticmethod
+    def manhattan_distance(a: Coordinate, b: Coordinate) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def straight_path(self, a: Coordinate, b: Coordinate) -> list[Coordinate]:
+        """Grid path from ``a`` to ``b`` along a single row or column.
+
+        The H-tree embedding only ever connects nodes that share a row or a
+        column; requesting a bent path is a logic error and raises.
+        """
+        if not (self.contains(a) and self.contains(b)):
+            raise ValueError("path endpoints must lie on the grid")
+        if a[0] == b[0]:
+            step = 1 if b[1] >= a[1] else -1
+            return [(a[0], col) for col in range(a[1], b[1] + step, step)]
+        if a[1] == b[1]:
+            step = 1 if b[0] >= a[0] else -1
+            return [(row, a[1]) for row in range(a[0], b[0] + step, step)]
+        raise ValueError(f"{a} and {b} do not share a row or column")
+
+    def to_networkx(self) -> nx.Graph:
+        """The connectivity graph (nodes are coordinates)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.coordinates())
+        for row in range(self.rows):
+            for col in range(self.cols):
+                if col + 1 < self.cols:
+                    graph.add_edge((row, col), (row, col + 1))
+                if row + 1 < self.rows:
+                    graph.add_edge((row, col), (row + 1, col))
+        return graph

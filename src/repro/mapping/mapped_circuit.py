@@ -1,0 +1,113 @@
+"""Apply an H-tree embedding to a QRAM circuit and account the routing overhead.
+
+This is the measurement behind Figure 8: take the logical query circuit of a
+router-tree QRAM, place every logical qubit on the grid according to the
+H-tree embedding, and accumulate the extra operations and extra depth that
+each communication scheme adds for gates whose operands are not adjacent.
+
+Depth is accumulated layer by layer over the ASAP schedule of the logical
+circuit: within one layer the remote gates execute concurrently, so the layer
+pays the *maximum* communication depth among its gates; operation counts are
+simply summed.  This mirrors how the paper reports "extra operation depth"
+versus QRAM width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.scheduling import asap_layers
+from repro.mapping.grid import Grid2D
+from repro.mapping.htree import HTreeEmbedding
+from repro.mapping.routing import RoutingScheme
+
+
+@dataclass(frozen=True)
+class MappingOverhead:
+    """Communication overhead of one circuit under one routing scheme."""
+
+    scheme: str
+    logical_depth: int
+    extra_depth: int
+    extra_operations: int
+    remote_gates: int
+    max_gate_distance: int
+
+    @property
+    def total_depth(self) -> int:
+        """Logical depth plus communication depth."""
+        return self.logical_depth + self.extra_depth
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "logical_depth": self.logical_depth,
+            "extra_depth": self.extra_depth,
+            "extra_operations": self.extra_operations,
+            "remote_gates": self.remote_gates,
+            "max_gate_distance": self.max_gate_distance,
+            "total_depth": self.total_depth,
+        }
+
+
+@dataclass
+class MappedQRAM:
+    """A QRAM circuit placed on a 2D grid via an H-tree embedding."""
+
+    circuit: QuantumCircuit
+    embedding: HTreeEmbedding
+
+    def __post_init__(self) -> None:
+        self.positions = self.embedding.logical_positions(self.circuit)
+        missing = set(range(self.circuit.num_qubits)) - set(self.positions)
+        if missing:
+            raise ValueError(
+                f"{len(missing)} logical qubits have no grid position: "
+                f"{sorted(missing)[:8]}..."
+            )
+
+    # -------------------------------------------------------------- distances
+    def gate_distance(self, qubits: tuple[int, ...]) -> int:
+        """Largest pairwise grid distance among a gate's operands."""
+        coordinates = [self.positions[q] for q in qubits]
+        worst = 0
+        for i, a in enumerate(coordinates):
+            for b in coordinates[i + 1:]:
+                worst = max(worst, Grid2D.manhattan_distance(a, b))
+        return worst
+
+    # --------------------------------------------------------------- overhead
+    def overhead(self, scheme: RoutingScheme) -> MappingOverhead:
+        """Accumulate the communication overhead under ``scheme`` (Figure 8)."""
+        layers = asap_layers(self.circuit)
+        extra_depth = 0
+        extra_operations = 0
+        remote_gates = 0
+        max_distance = 0
+        for layer in layers:
+            layer_depth = 0
+            for instr in layer:
+                if len(instr.qubits) < 2:
+                    continue
+                distance = self.gate_distance(instr.qubits)
+                max_distance = max(max_distance, distance)
+                if distance <= 1:
+                    continue
+                cost = scheme.cost(distance)
+                remote_gates += 1
+                extra_operations += cost.extra_operations
+                layer_depth = max(layer_depth, cost.extra_depth)
+            extra_depth += layer_depth
+        return MappingOverhead(
+            scheme=scheme.name,
+            logical_depth=len(layers),
+            extra_depth=extra_depth,
+            extra_operations=extra_operations,
+            remote_gates=remote_gates,
+            max_gate_distance=max_distance,
+        )
+
+    def compare_schemes(self, schemes: list[RoutingScheme]) -> list[MappingOverhead]:
+        """Overhead of every scheme on the same placement (one Figure 8 column)."""
+        return [self.overhead(scheme) for scheme in schemes]

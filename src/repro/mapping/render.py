@@ -1,0 +1,81 @@
+"""ASCII rendering of H-tree layouts and mapping overhead summaries.
+
+The paper communicates its mapping results with layout diagrams (Fig. 6);
+this module provides the text equivalent so users can eyeball an embedding in
+a terminal or paste it into a design document:
+
+* :func:`render_layout` draws the grid with one character per physical qubit
+  (``R`` router node, ``D`` leaf data node, ``·`` routing qubit, ``.`` unused);
+* :func:`render_levels` overlays the tree level of each node instead, which
+  makes the recursive H-tree structure visible;
+* :func:`layout_legend` returns the legend used by both.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.htree import HTreeEmbedding, QubitRole
+
+#: Character used for each role in :func:`render_layout`.
+ROLE_GLYPHS = {
+    QubitRole.QRAM: "R",
+    QubitRole.DATA: "D",
+    QubitRole.ROUTING: "+",
+    QubitRole.UNUSED: ".",
+}
+
+
+def layout_legend() -> str:
+    """One-line legend for the layout glyphs."""
+    return "R = router node   D = leaf data   + = routing qubit   . = unused"
+
+
+def render_layout(embedding: HTreeEmbedding, *, legend: bool = True) -> str:
+    """Draw the embedding as a grid of role glyphs (Fig. 6a/6c style)."""
+    roles = embedding.roles()
+    rows = []
+    for row in range(embedding.grid.rows):
+        rows.append(
+            " ".join(
+                ROLE_GLYPHS[roles[(row, col)]] for col in range(embedding.grid.cols)
+            )
+        )
+    picture = "\n".join(rows)
+    if legend:
+        picture += "\n" + layout_legend()
+    return picture
+
+
+def render_levels(embedding: HTreeEmbedding) -> str:
+    """Draw the tree level of every node (root = 0), '.' elsewhere.
+
+    Levels of 10 and above are rendered with letters (a = 10, b = 11, ...)
+    so the grid stays aligned.
+    """
+    def level_glyph(level: int) -> str:
+        if level < 10:
+            return str(level)
+        return chr(ord("a") + level - 10)
+
+    by_position = {
+        position: level for (level, _idx), position in embedding.node_positions.items()
+    }
+    rows = []
+    for row in range(embedding.grid.rows):
+        cells = []
+        for col in range(embedding.grid.cols):
+            level = by_position.get((row, col))
+            cells.append("." if level is None else level_glyph(level))
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def render_overhead_summary(embedding: HTreeEmbedding) -> str:
+    """Compact textual summary of the layout statistics (Sec. 7.2 numbers)."""
+    summary = embedding.routing_resource_summary()
+    return (
+        f"capacity {1 << summary['tree_depth']} QRAM on a "
+        f"{summary['grid_rows']}x{summary['grid_cols']} grid: "
+        f"{summary['qram_nodes']} router nodes, {summary['data_nodes']} data nodes, "
+        f"{summary['routing_qubits']} routing qubits, "
+        f"{summary['unused_qubits']} unused ({summary['unused_fraction']:.0%})"
+    )

@@ -1,0 +1,94 @@
+"""Communication schemes for remote gates on 2D hardware (Sec. 4.3, Fig. 6d/e).
+
+When a gate's operands are mapped to grid positions that are not adjacent,
+the compiler must move quantum information across the intervening qubits.
+Two schemes are compared in Figure 8:
+
+* **Swap-based routing** -- the conventional approach: SWAP one operand along
+  the path until the operands are adjacent, execute the gate, and SWAP back.
+  The added circuit depth is linear in the distance, so the long arms at the
+  top of the H-tree (length ``~2**(m/2)``) make the overall overhead grow
+  exponentially with the QRAM width ``m``.
+
+* **Teleportation-based routing** -- the paper's scheme: the unused routing
+  qubits along the path are prepared in EPR pairs and Bell-measured
+  (entanglement swapping), creating a long-range entangled link in *constant*
+  depth regardless of distance.  Remote gates therefore add only ``O(1)``
+  depth each and the QRAM's ``O(log M)`` query latency survives the mapping.
+
+Both schemes are expressed as a cost model ``(extra operations, extra depth)``
+per remote gate so the mapper can accumulate Figure 8's totals from a real
+circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Cost of executing one remote gate under a routing scheme."""
+
+    extra_operations: int
+    extra_depth: int
+
+
+class RoutingScheme:
+    """Base class: maps a grid distance to a communication cost."""
+
+    name = "abstract"
+
+    def cost(self, distance: int) -> CommunicationCost:
+        """Cost of a gate whose operands are ``distance`` grid edges apart."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SwapRouting(RoutingScheme):
+    """Move an operand with nearest-neighbour SWAPs, execute, and move it back.
+
+    ``swap_depth`` is the depth charged per SWAP (3 when decomposed into CX
+    gates, 1 if the hardware supports native SWAP/iSWAP); the default of 1
+    matches the paper's operation-level accounting in Figure 8.
+    """
+
+    swap_depth: int = 1
+    round_trip: bool = True
+
+    name = "swap"
+
+    def cost(self, distance: int) -> CommunicationCost:
+        if distance <= 1:
+            return CommunicationCost(extra_operations=0, extra_depth=0)
+        swaps_one_way = distance - 1
+        factor = 2 if self.round_trip else 1
+        swaps = factor * swaps_one_way
+        return CommunicationCost(
+            extra_operations=swaps, extra_depth=swaps * self.swap_depth
+        )
+
+
+@dataclass(frozen=True)
+class TeleportationRouting(RoutingScheme):
+    """Entanglement-swapping teleportation across the free routing qubits.
+
+    EPR preparation on the path qubits and the Bell-state measurements all
+    happen in parallel, so the depth contribution is a constant
+    (``link_depth``, default 2: one layer of EPR preparation and one layer of
+    Bell measurements, with the conditional Pauli corrections absorbed into
+    Pauli-frame tracking) while the operation count grows with the number of
+    routing qubits consumed along the path.
+    """
+
+    link_depth: int = 2
+
+    name = "teleportation"
+
+    def cost(self, distance: int) -> CommunicationCost:
+        if distance <= 1:
+            return CommunicationCost(extra_operations=0, extra_depth=0)
+        routing_qubits = distance - 1
+        return CommunicationCost(
+            extra_operations=2 * routing_qubits, extra_depth=self.link_depth
+        )

@@ -1,0 +1,100 @@
+"""Baseline B: hybrid SQC + bucket-brigade QRAM (Sec. 6.1, Table 2 "SQC+BB").
+
+The bucket-brigade architecture [Giovannetti-Lloyd-Maccone; Hann et al.] loads
+the address qubits into a binary router tree and retrieves data by routing it
+along the *active path* of the tree, so that errors on a router only disturb
+the branches of the superposition that traverse it -- the origin of its
+celebrated resilience to generic (X as well as Z) noise.
+
+When used to query a memory larger than the tree ("SQC+BB"), the architecture
+is *load-multiple-times*: every page iteration repeats the full
+address-loading stage, whose CSWAP routers dominate the T cost.  This is the
+exponential ``O(2^k)`` T-depth overhead that Table 2 attributes to Baseline B
+and that the paper's load-once virtual QRAM removes.
+
+With ``qram_width == memory.address_width`` (``k = 0``) this class is the
+plain bucket-brigade QRAM used in the Figure 9/10 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+from repro.qram.tree import RouterTree
+
+
+@dataclass
+class BucketBrigadeQRAM(QRAMArchitecture):
+    """Bucket-brigade QRAM, optionally paged by an SQC over the high bits."""
+
+    pipelined_addressing: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width < 1:
+            raise ValueError("bucket-brigade QRAM needs a QRAM width of at least 1")
+        self.name = "sqc_bb"
+
+    def _build(self) -> QuantumCircuit:
+        alloc = QubitAllocator()
+        sqc_address = alloc.register("sqc_address", self.k)
+        qram_address = alloc.register("qram_address", self.m)
+        bus = alloc.register("bus", 1)
+        tree = RouterTree(depth=self.m, allocator=alloc, separate_accumulators=False)
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits, registers=alloc.registers
+        )
+
+        for page_index in range(self.num_pages):
+            page = self.memory.page(page_index, self.m, self.bit_plane)
+            # Load-multiple-times: the address enters the tree for every page.
+            tree.load_address(
+                circuit, list(qram_address), pipelined=self.pipelined_addressing
+            )
+            # Write the page's classical data onto the leaf data qubits.
+            self._write_page(circuit, tree, page)
+            # Route the addressed leaf's bit up the active path to the root.
+            tree.route_leaves_to_root(circuit)
+            self._copy_root_to_bus(circuit, tree, sqc_address, bus[0], page_index)
+            tree.unroute_leaves_from_root(circuit)
+            # Unload the classical data and the address.
+            self._write_page(circuit, tree, page)
+            tree.unload_address(
+                circuit, list(qram_address), pipelined=self.pipelined_addressing
+            )
+        return circuit
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _write_page(
+        circuit: QuantumCircuit, tree: RouterTree, page: tuple[int, ...]
+    ) -> None:
+        """Classically-controlled X writes of one page onto the leaf qubits."""
+        for leaf_index, bit in enumerate(page):
+            if bit:
+                circuit.x(tree.leaves[leaf_index], tags=("classical",))
+
+    @staticmethod
+    def _copy_root_to_bus(
+        circuit: QuantumCircuit,
+        tree: RouterTree,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        """Copy the routed data bit to the bus when the SQC bits select this page."""
+        controls = list(sqc_address)
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (page_index >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls + [tree.root_wire], bus)
+        for q in zero_controls:
+            circuit.x(q)

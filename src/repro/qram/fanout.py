@@ -1,0 +1,100 @@
+"""Fanout QRAM (Sec. 2.3.2): the earliest O(log N)-latency router architecture.
+
+Address loading is done by *fanning out* each address qubit to every router of
+its tree level with CX gates, preparing GHZ-like states across each level.
+Data retrieval then proceeds exactly like the virtual QRAM's marker-based
+retrieval.  The GHZ-like entanglement is the architecture's weakness: a single
+phase error on any router of level ``u`` dephases every branch whose ``u``-th
+address bit is 1, i.e. roughly half of the superposition, so the fidelity
+collapses much faster than for the bucket-brigade or virtual designs.  The
+class is included both for completeness of the background section and as an
+additional comparison point in the noise benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+from repro.qram.tree import RouterTree
+
+
+@dataclass
+class FanoutQRAM(QRAMArchitecture):
+    """Fanout QRAM, optionally paged by an SQC over the high address bits."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width < 1:
+            raise ValueError("fanout QRAM needs a QRAM width of at least 1")
+        self.name = "fanout"
+
+    def _build(self) -> QuantumCircuit:
+        alloc = QubitAllocator()
+        sqc_address = alloc.register("sqc_address", self.k)
+        qram_address = alloc.register("qram_address", self.m)
+        bus = alloc.register("bus", 1)
+        tree = RouterTree(depth=self.m, allocator=alloc, separate_accumulators=False)
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits, registers=alloc.registers
+        )
+
+        self._fanout_address(circuit, tree, list(qram_address))
+        tree.route_marker_to_leaves(circuit)
+
+        for page_index in range(self.num_pages):
+            page = self.memory.page(page_index, self.m, self.bit_plane)
+            self._apply_classical_gates(circuit, tree, page)
+            tree.accumulate_to_root(circuit)
+            self._copy_root_to_bus(circuit, tree, sqc_address, bus[0], page_index)
+            tree.unaccumulate_from_root(circuit)
+            self._apply_classical_gates(circuit, tree, page)
+
+        tree.unroute_marker_from_leaves(circuit)
+        self._fanout_address(circuit, tree, list(qram_address))
+        return circuit
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _fanout_address(
+        circuit: QuantumCircuit, tree: RouterTree, address_qubits: list[int]
+    ) -> None:
+        """Copy address bit ``u`` onto every router of level ``u`` (GHZ-like)."""
+        for level, qubit in enumerate(address_qubits):
+            for node in range(1 << level):
+                circuit.cx(qubit, tree.routers[level][node])
+
+    @staticmethod
+    def _apply_classical_gates(
+        circuit: QuantumCircuit, tree: RouterTree, page: tuple[int, ...]
+    ) -> None:
+        for leaf_index, bit in enumerate(page):
+            if bit:
+                circuit.cx(
+                    tree.leaves[leaf_index],
+                    tree.leaf_parent_accumulator(leaf_index),
+                    tags=("classical",),
+                )
+
+    @staticmethod
+    def _copy_root_to_bus(
+        circuit: QuantumCircuit,
+        tree: RouterTree,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        controls = list(sqc_address)
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (page_index >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls + [tree.root_accumulator], bus)
+        for q in zero_controls:
+            circuit.x(q)

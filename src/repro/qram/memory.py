@@ -1,0 +1,180 @@
+"""Classical memory abstraction queried by the QRAM architectures.
+
+A :class:`ClassicalMemory` holds the ``N = 2**n`` classical data values
+``x_0, ..., x_{N-1}`` that a query entangles with the address register
+(Eq. (2) of the paper).  The virtual QRAM additionally views the memory as
+``K = 2**k`` *pages* (segments) of ``M = 2**m`` cells each (Sec. 3.1.3); the
+paging helpers here implement that view, including the XOR-difference between
+consecutive pages that the lazy-data-swapping optimisation exploits
+(Sec. 3.2.2).
+
+Data values default to single bits (the paper's main setting); a
+``data_width`` larger than one is supported for the generalised-data-size
+extension discussed in Sec. 8, in which case queries are performed one bit
+plane at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassicalMemory:
+    """Immutable classical memory of ``2**address_width`` cells.
+
+    Attributes
+    ----------
+    values:
+        Integer array of length ``2**address_width``; each entry is in
+        ``[0, 2**data_width)``.
+    address_width:
+        Number of address bits ``n``.
+    data_width:
+        Number of bits per memory cell (1 for the paper's main experiments).
+    """
+
+    values: tuple[int, ...]
+    address_width: int
+    data_width: int = 1
+
+    def __post_init__(self) -> None:
+        expected = 1 << self.address_width
+        if len(self.values) != expected:
+            raise ValueError(
+                f"memory with address width {self.address_width} needs "
+                f"{expected} values, got {len(self.values)}"
+            )
+        if self.data_width < 1:
+            raise ValueError("data_width must be at least 1")
+        limit = 1 << self.data_width
+        for index, value in enumerate(self.values):
+            if not 0 <= value < limit:
+                raise ValueError(
+                    f"value {value} at address {index} does not fit in "
+                    f"{self.data_width} bits"
+                )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_values(
+        cls, values: Sequence[int] | Iterable[int], data_width: int = 1
+    ) -> "ClassicalMemory":
+        """Build a memory from an explicit list whose length is a power of two."""
+        values = tuple(int(v) for v in values)
+        size = len(values)
+        if size == 0 or size & (size - 1):
+            raise ValueError(f"memory size must be a power of two, got {size}")
+        return cls(values=values, address_width=size.bit_length() - 1, data_width=data_width)
+
+    @classmethod
+    def from_function(
+        cls, func: Callable[[int], int], address_width: int, data_width: int = 1
+    ) -> "ClassicalMemory":
+        """Memory whose cell ``i`` stores ``func(i)`` (a domain-specific dataset)."""
+        values = tuple(int(func(i)) for i in range(1 << address_width))
+        return cls(values=values, address_width=address_width, data_width=data_width)
+
+    @classmethod
+    def random(
+        cls,
+        address_width: int,
+        rng: np.random.Generator | int | None = None,
+        p_one: float = 0.5,
+        data_width: int = 1,
+    ) -> "ClassicalMemory":
+        """Uniformly random memory (the workload of the paper's evaluation).
+
+        ``p_one`` is the marginal probability of each data *bit* being 1; the
+        paper's lazy-swapping analysis assumes 0.5.
+        """
+        if isinstance(rng, (int, np.integer)) or rng is None:
+            rng = np.random.default_rng(rng)
+        size = 1 << address_width
+        if data_width == 1:
+            values = (rng.random(size) < p_one).astype(int)
+        else:
+            bits = rng.random((size, data_width)) < p_one
+            weights = 1 << np.arange(data_width)[::-1]
+            values = (bits * weights).sum(axis=1)
+        return cls(
+            values=tuple(int(v) for v in values),
+            address_width=address_width,
+            data_width=data_width,
+        )
+
+    @classmethod
+    def zeros(cls, address_width: int, data_width: int = 1) -> "ClassicalMemory":
+        """All-zero memory (useful for tests and calibration runs)."""
+        return cls(
+            values=tuple(0 for _ in range(1 << address_width)),
+            address_width=address_width,
+            data_width=data_width,
+        )
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def size(self) -> int:
+        """Number of memory cells ``N = 2**n``."""
+        return 1 << self.address_width
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, address: int) -> int:
+        return self.values[address]
+
+    def bit(self, address: int, plane: int = 0) -> int:
+        """Bit ``plane`` of the value at ``address`` (plane 0 = most significant)."""
+        if not 0 <= plane < self.data_width:
+            raise ValueError(f"bit plane {plane} outside data width {self.data_width}")
+        return (self.values[address] >> (self.data_width - 1 - plane)) & 1
+
+    def bit_plane(self, plane: int = 0) -> tuple[int, ...]:
+        """The whole memory restricted to one bit plane (a width-1 dataset)."""
+        return tuple(self.bit(address, plane) for address in range(self.size))
+
+    def ones_count(self, plane: int = 0) -> int:
+        """Number of cells whose bit ``plane`` is 1 (drives Table 1 gate counts)."""
+        return sum(self.bit_plane(plane))
+
+    # ------------------------------------------------------------------ paging
+    def num_pages(self, qram_width: int) -> int:
+        """Number of pages ``K = 2**k`` when the QRAM holds ``2**qram_width`` cells."""
+        if qram_width > self.address_width:
+            raise ValueError(
+                f"QRAM width {qram_width} exceeds address width {self.address_width}"
+            )
+        return 1 << (self.address_width - qram_width)
+
+    def page(self, page_index: int, qram_width: int, plane: int = 0) -> tuple[int, ...]:
+        """Bits of page ``page_index`` (the segment swapped into the QRAM)."""
+        num_pages = self.num_pages(qram_width)
+        if not 0 <= page_index < num_pages:
+            raise ValueError(f"page {page_index} outside range(0, {num_pages})")
+        page_size = 1 << qram_width
+        start = page_index * page_size
+        return tuple(self.bit(start + offset, plane) for offset in range(page_size))
+
+    def page_difference(
+        self, page_index: int, qram_width: int, plane: int = 0
+    ) -> tuple[int, ...]:
+        """XOR of page ``page_index`` with page ``page_index + 1``.
+
+        This is exactly the mask of classically-controlled gates the lazy
+        data swapping optimisation applies between consecutive pages
+        (Sec. 3.2.2): a cell whose value repeats on the next page needs no
+        unload/reload.
+        """
+        current = self.page(page_index, qram_width, plane)
+        following = self.page(page_index + 1, qram_width, plane)
+        return tuple(a ^ b for a, b in zip(current, following))
+
+    def split_address(self, address: int, qram_width: int) -> tuple[int, int]:
+        """Split ``address`` into ``(page_index, offset)`` for a given QRAM width."""
+        if not 0 <= address < self.size:
+            raise ValueError(f"address {address} outside memory of size {self.size}")
+        return address >> qram_width, address & ((1 << qram_width) - 1)

@@ -1,0 +1,115 @@
+"""Baseline S: hybrid SQC + Select-Swap QRAM (Sec. 2.3.3, Table 2 "SQC+SS").
+
+Select-Swap [Low-Kliuchnikov-Schaeffer] is a two-stage architecture:
+
+1. **Select** -- the data of the currently addressed block is written onto a
+   register of ``M = 2**m`` block qubits (here this is the per-page
+   classically-controlled write, with the page selected sequentially by the
+   SQC bits exactly as in the paper's hybrid baseline);
+2. **Swap** -- the ``m`` low address bits steer a CSWAP butterfly network that
+   routes the addressed block qubit to a fixed position, from which it is
+   copied to the bus.
+
+Because the whole page is materialised on the block register for *every*
+branch of the superposition, a single Pauli error on any block qubit damages a
+constant fraction of the branches: the architecture has no intrinsic noise
+resilience, which is exactly the behaviour Figure 9 reports for Baseline S.
+
+Each CSWAP layer of the butterfly shares one address qubit as control, so the
+layers serialise; the paper attributes the resulting quadratic depth factor to
+the missing address-pipelining strategy (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+
+
+@dataclass
+class SelectSwapQRAM(QRAMArchitecture):
+    """Select-Swap QRAM, paged by an SQC over the high address bits."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width < 1:
+            raise ValueError("select-swap QRAM needs a QRAM width of at least 1")
+        self.name = "sqc_ss"
+
+    def _build(self) -> QuantumCircuit:
+        alloc = QubitAllocator()
+        sqc_address = alloc.register("sqc_address", self.k)
+        qram_address = alloc.register("qram_address", self.m)
+        bus = alloc.register("bus", 1)
+        block = alloc.register("block", 1 << self.m)
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits, registers=alloc.registers
+        )
+
+        for page_index in range(self.num_pages):
+            page = self.memory.page(page_index, self.m, self.bit_plane)
+            self._write_page(circuit, block, page)
+            self._swap_network(circuit, block, list(qram_address))
+            self._copy_block_to_bus(circuit, block, sqc_address, bus[0], page_index)
+            self._swap_network(circuit, block, list(qram_address), inverse=True)
+            self._write_page(circuit, block, page)
+        return circuit
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _write_page(circuit: QuantumCircuit, block, page: tuple[int, ...]) -> None:
+        """Select stage: write one page's bits onto the block register."""
+        for index, bit in enumerate(page):
+            if bit:
+                circuit.x(block[index], tags=("classical",))
+
+    def _swap_network(
+        self,
+        circuit: QuantumCircuit,
+        block,
+        address_qubits: list[int],
+        *,
+        inverse: bool = False,
+    ) -> None:
+        """CSWAP butterfly routing block[address] to block[0].
+
+        Address bit 0 is the most significant of the ``m`` QRAM bits; the
+        butterfly halves the candidate window one bit at a time.
+        """
+        layers = list(range(self.m))
+        if inverse:
+            layers.reverse()
+        for bit_index in layers:
+            stride = 1 << (self.m - 1 - bit_index)
+            control = address_qubits[bit_index]
+            for segment_start in range(0, 1 << self.m, 2 * stride):
+                for offset in range(stride):
+                    circuit.cswap(
+                        control,
+                        block[segment_start + offset],
+                        block[segment_start + offset + stride],
+                    )
+
+    @staticmethod
+    def _copy_block_to_bus(
+        circuit: QuantumCircuit,
+        block,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        controls = list(sqc_address)
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (page_index >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls + [block[0]], bus)
+        for q in zero_controls:
+            circuit.x(q)

@@ -1,0 +1,71 @@
+"""Sequential Query Circuit (SQC / QROM), the purely gate-based baseline (Sec. 2.3.1).
+
+One MCX gate per memory cell: the gate's controls encode the cell's address
+(zero-bits conjugated by X), its target is the bus, and it is included only
+when the stored bit is 1 -- making every included gate a classically
+controlled one.  The SQC uses only ``n + 1`` qubits but its latency grows
+linearly with the memory size, which is the trade-off the router-based
+architectures (and the paper's hybrid) are designed to escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+from repro.qram.memory import ClassicalMemory
+
+
+@dataclass
+class SequentialQueryCircuit(QRAMArchitecture):
+    """QROM-style sequential query over the full address register.
+
+    The SQC has no router tree, so its ``qram_width`` is always 0 (every
+    address bit is handled gate-sequentially); construct it as
+    ``SequentialQueryCircuit(memory)``.
+    """
+
+    qram_width: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width != 0:
+            raise ValueError("the sequential query circuit has no QRAM part (m = 0)")
+        self.name = "sqc"
+
+    @classmethod
+    def for_memory(cls, memory: ClassicalMemory, bit_plane: int = 0) -> "SequentialQueryCircuit":
+        """Convenience constructor mirroring the other architectures' signatures."""
+        return cls(memory=memory, qram_width=0, bit_plane=bit_plane)
+
+    def _build(self) -> QuantumCircuit:
+        alloc = QubitAllocator()
+        address = alloc.register("sqc_address", self.n)
+        alloc.register("qram_address", 0)
+        bus = alloc.register("bus", 1)
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits, registers=alloc.registers
+        )
+        for cell in range(self.memory.size):
+            if self.memory.bit(cell, self.bit_plane):
+                self._address_controlled_flip(circuit, list(address), cell, bus[0])
+        return circuit
+
+    @staticmethod
+    def _address_controlled_flip(
+        circuit: QuantumCircuit, controls: list[int], pattern: int, target: int
+    ) -> None:
+        """MCX firing when the address register equals ``pattern``."""
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (pattern >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls, target, tags=("classical",))
+        for q in zero_controls:
+            circuit.x(q)

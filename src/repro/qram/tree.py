@@ -1,0 +1,281 @@
+"""Binary router tree shared by the router-based architectures.
+
+The bucket-brigade, fanout and virtual QRAM architectures all arrange quantum
+routers in a complete binary tree (Sec. 2.3.2 / 3.1 of the paper).  This
+module centralises the register layout and the routing gadgets so that each
+architecture builder only expresses its own address-loading and data-retrieval
+strategy.
+
+Layout for QRAM width ``m`` (capacity ``M = 2**m``):
+
+* ``router[u][j]`` -- the router qubit of node ``j`` at level ``u``
+  (``u = 0 .. m-1``, ``j = 0 .. 2**u - 1``): stores the routing direction for
+  that node (|0> routes left, |1> routes right).
+* ``wire[u][j]`` -- the node's input/output wire: the qubit a payload occupies
+  while traversing node ``(u, j)``.
+* ``leaf[i]`` -- the ``M`` data qubits affixed below the lowest router level;
+  ``leaf[i]`` corresponds to classical memory cell ``i`` of the currently
+  loaded page.
+
+The routing gadget of Fig. 2(c) is implemented as::
+
+    CSWAP(router, wire, right_child_wire)   # payload goes right when router=1
+    SWAP(wire, left_child_wire)             # otherwise it goes left
+
+which is exactly one quantum router: 1 CSWAP + 1 SWAP per node per traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator, QubitRegister
+
+
+@dataclass
+class RouterTree:
+    """Register layout and routing gadgets for one binary router tree.
+
+    Parameters
+    ----------
+    depth:
+        Tree depth ``m`` (one router level per QRAM address bit); must be >= 1.
+    allocator:
+        The allocator shared with the architecture builder, so the tree's
+        registers interleave naturally with address/bus registers.
+    separate_accumulators:
+        When True an extra per-internal-node "tree data" qubit is allocated
+        for the data-retrieval XOR accumulation (the RAW layout of Table 1).
+        When False the node *wire* qubits are reused as accumulators -- this is
+        Key Optimization 1, address-qubit recycling (Sec. 3.2.1).
+    dual_rail_leaves:
+        When True each leaf data qubit is paired with an ancilla so classical
+        data can be written in the dual-rail encoding of Fig. 5(d).
+    """
+
+    depth: int
+    allocator: QubitAllocator
+    separate_accumulators: bool = False
+    dual_rail_leaves: bool = False
+    routers: list[QubitRegister] = field(default_factory=list, init=False)
+    wires: list[QubitRegister] = field(default_factory=list, init=False)
+    accumulators: list[QubitRegister] = field(default_factory=list, init=False)
+    leaves: QubitRegister | None = field(default=None, init=False)
+    leaf_ancillas: QubitRegister | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("router tree depth must be at least 1")
+        for level in range(self.depth):
+            size = 1 << level
+            self.routers.append(self.allocator.register(f"router_L{level}", size))
+            self.wires.append(self.allocator.register(f"wire_L{level}", size))
+        if self.separate_accumulators:
+            for level in range(self.depth):
+                size = 1 << level
+                self.accumulators.append(
+                    self.allocator.register(f"tree_data_L{level}", size)
+                )
+        else:
+            self.accumulators = list(self.wires)
+        self.leaves = self.allocator.register("leaf_data", 1 << self.depth)
+        if self.dual_rail_leaves:
+            self.leaf_ancillas = self.allocator.register(
+                "leaf_ancilla", 1 << self.depth
+            )
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def capacity(self) -> int:
+        """Number of leaf data qubits ``M = 2**depth``."""
+        return 1 << self.depth
+
+    @property
+    def num_internal_nodes(self) -> int:
+        return (1 << self.depth) - 1
+
+    @property
+    def root_wire(self) -> int:
+        """The entry wire at the root, ``q^(d)_{-1}`` in Algorithm 1."""
+        return self.wires[0][0]
+
+    @property
+    def root_accumulator(self) -> int:
+        """The qubit where the data-retrieval XOR compression terminates."""
+        return self.accumulators[0][0]
+
+    def all_tree_qubits(self) -> list[int]:
+        """Every qubit owned by the tree (routers, wires, accumulators, leaves)."""
+        qubits: list[int] = []
+        for level in range(self.depth):
+            qubits.extend(self.routers[level])
+            qubits.extend(self.wires[level])
+            if self.separate_accumulators:
+                qubits.extend(self.accumulators[level])
+        qubits.extend(self.leaves)
+        if self.leaf_ancillas is not None:
+            qubits.extend(self.leaf_ancillas)
+        return qubits
+
+    def child_wires(self, level: int, node: int) -> tuple[int, int]:
+        """(left, right) wires one level below node ``(level, node)``.
+
+        For the bottom router level the children are the leaf data qubits.
+        """
+        if level == self.depth - 1:
+            return self.leaves[2 * node], self.leaves[2 * node + 1]
+        return self.wires[level + 1][2 * node], self.wires[level + 1][2 * node + 1]
+
+    # ---------------------------------------------------------------- gadgets
+    def route_down_level(self, circuit: QuantumCircuit, level: int) -> None:
+        """Push payloads one level down at every node of ``level`` (Fig. 2c)."""
+        for node in range(1 << level):
+            left, right = self.child_wires(level, node)
+            wire = self.wires[level][node]
+            router = self.routers[level][node]
+            circuit.cswap(router, wire, right)
+            circuit.swap(wire, left)
+
+    def route_up_level(self, circuit: QuantumCircuit, level: int) -> None:
+        """Inverse of :meth:`route_down_level` (payloads move one level up)."""
+        for node in range(1 << level):
+            left, right = self.child_wires(level, node)
+            wire = self.wires[level][node]
+            router = self.routers[level][node]
+            circuit.swap(wire, left)
+            circuit.cswap(router, wire, right)
+
+    def absorb_level(self, circuit: QuantumCircuit, level: int) -> None:
+        """Swap the payload at every node of ``level`` into the node's router.
+
+        Used at the end of each address-loading round: the address bit that
+        reached level ``u`` becomes the routing direction of that level.
+        """
+        for node in range(1 << level):
+            circuit.swap(self.wires[level][node], self.routers[level][node])
+
+    # --------------------------------------------------------- composite moves
+    def load_address_bit(
+        self,
+        circuit: QuantumCircuit,
+        address_qubit: int,
+        level: int,
+        *,
+        barrier: bool = False,
+    ) -> None:
+        """Route one address qubit into the tree and absorb it at ``level``.
+
+        This is one round of the bucket-brigade address-loading stage
+        (Sec. 3.1.1): the address qubit enters at the root wire, traverses the
+        ``level`` already-programmed router levels, and is swapped into the
+        routers of level ``level``.  With ``barrier=True`` a scheduling
+        barrier is appended, which models the naive (non-pipelined) schedule
+        whose depth is quadratic in ``m`` (Sec. 3.2.3).
+        """
+        circuit.swap(address_qubit, self.root_wire)
+        for upper in range(level):
+            self.route_down_level(circuit, upper)
+        self.absorb_level(circuit, level)
+        if barrier:
+            circuit.barrier()
+
+    def unload_address_bit(
+        self,
+        circuit: QuantumCircuit,
+        address_qubit: int,
+        level: int,
+        *,
+        barrier: bool = False,
+    ) -> None:
+        """Inverse of :meth:`load_address_bit`."""
+        self.absorb_level(circuit, level)
+        for upper in range(level - 1, -1, -1):
+            self.route_up_level(circuit, upper)
+        circuit.swap(address_qubit, self.root_wire)
+        if barrier:
+            circuit.barrier()
+
+    def load_address(
+        self,
+        circuit: QuantumCircuit,
+        address_qubits: list[int],
+        *,
+        pipelined: bool = True,
+    ) -> None:
+        """Load all ``m`` address qubits, most significant first."""
+        if len(address_qubits) != self.depth:
+            raise ValueError(
+                f"expected {self.depth} address qubits, got {len(address_qubits)}"
+            )
+        for level, qubit in enumerate(address_qubits):
+            self.load_address_bit(circuit, qubit, level, barrier=not pipelined)
+
+    def unload_address(
+        self,
+        circuit: QuantumCircuit,
+        address_qubits: list[int],
+        *,
+        pipelined: bool = True,
+    ) -> None:
+        """Inverse of :meth:`load_address` (uncompute the routers)."""
+        for level in range(self.depth - 1, -1, -1):
+            self.unload_address_bit(
+                circuit, address_qubits[level], level, barrier=not pipelined
+            )
+
+    def route_marker_to_leaves(self, circuit: QuantumCircuit) -> None:
+        """Inject a |1> marker at the root and route it to the addressed leaf.
+
+        After address loading this is the query-state preparation of
+        Sec. 3.1.1: the marker ends on ``leaf[i]`` where ``i`` is the QRAM
+        part of the queried address, and every other leaf stays |0>.
+        """
+        circuit.x(self.root_wire)
+        for level in range(self.depth):
+            self.route_down_level(circuit, level)
+
+    def unroute_marker_from_leaves(self, circuit: QuantumCircuit) -> None:
+        """Inverse of :meth:`route_marker_to_leaves`."""
+        for level in range(self.depth - 1, -1, -1):
+            self.route_up_level(circuit, level)
+        circuit.x(self.root_wire)
+
+    def route_leaves_to_root(self, circuit: QuantumCircuit) -> None:
+        """Route the payload sitting on the addressed leaf up to the root wire.
+
+        Used by the classic bucket-brigade data retrieval: after classical
+        data has been written onto the leaves, the addressed leaf's bit
+        travels up the active path and can be copied to the bus at the root.
+        """
+        for level in range(self.depth - 1, -1, -1):
+            self.route_up_level(circuit, level)
+
+    def unroute_leaves_from_root(self, circuit: QuantumCircuit) -> None:
+        """Inverse of :meth:`route_leaves_to_root`."""
+        for level in range(self.depth):
+            self.route_down_level(circuit, level)
+
+    def accumulate_to_root(self, circuit: QuantumCircuit) -> None:
+        """CX compression array propagating leaf contributions up to the root.
+
+        This is the paper's novel data-retrieval stage (Sec. 3.1.2): internal
+        accumulators XOR their children so the root accumulator ends holding
+        the XOR of all leaf contributions -- which, because exactly one leaf
+        carries the marker, equals the queried data bit.  Only Clifford CX
+        gates are involved, which is the source of the T-count savings over
+        the bucket-brigade baseline (Table 2).
+        """
+        for level in range(self.depth - 1, 0, -1):
+            for node in range(1 << level):
+                circuit.cx(self.accumulators[level][node], self.accumulators[level - 1][node // 2])
+
+    def unaccumulate_from_root(self, circuit: QuantumCircuit) -> None:
+        """Inverse of :meth:`accumulate_to_root`."""
+        for level in range(1, self.depth):
+            for node in range(1 << level):
+                circuit.cx(self.accumulators[level][node], self.accumulators[level - 1][node // 2])
+
+    def leaf_parent_accumulator(self, leaf_index: int) -> int:
+        """Accumulator qubit that leaf ``leaf_index`` contributes to."""
+        return self.accumulators[self.depth - 1][leaf_index // 2]

@@ -1,0 +1,225 @@
+"""The paper's proposed architecture: virtual QRAM (Sec. 3, Algorithm 1).
+
+A virtual QRAM queries a memory of capacity ``N = 2**n`` using a physical
+router tree of capacity only ``M = 2**m`` (``m <= n``).  The ``k = n - m``
+most-significant address bits select one of ``K = 2**k`` memory *pages*; the
+query loads the ``m`` least-significant address bits into the tree **once**,
+then iterates the (cheap, Clifford-dominated) data-retrieval stage over all
+pages, copying the queried bit to the bus only for the page selected by the
+``k`` SQC address bits.
+
+The builder exposes the three key optimizations of Sec. 3.2 as independent
+switches so that Table 1's ablation can be measured on real circuits:
+
+* **Address-qubit recycling** (Opt. 1): reuse the router-tree wire qubits as
+  the data-retrieval accumulators instead of allocating a separate data qubit
+  per internal node.
+* **Lazy data swapping** (Opt. 2): between consecutive pages only toggle the
+  classically-controlled gates of cells whose value actually changes
+  (the XOR of the two pages), instead of fully unloading and reloading.
+* **Address pipelining** (Opt. 3): allow the ``(l+1)``-th address qubit to
+  enter the tree as soon as the ``l``-th has moved one level down; the
+  non-pipelined schedule is modelled with barriers after each loading round.
+
+An optional dual-rail leaf encoding (Fig. 5d) is also provided; it doubles
+the leaf qubits and replaces the classically-controlled CX inclusion with the
+classically-controlled SWAP of the paper's description, and is used by the
+noise-analysis comparison of Sec. 5.1 (``F_dual-rail >= 1 - 8 eps m^2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+from repro.qram.tree import RouterTree
+
+
+@dataclass(frozen=True)
+class VirtualQRAMOptions:
+    """Feature switches for the virtual QRAM builder (Sec. 3.2 ablation)."""
+
+    recycle_address_qubits: bool = True
+    lazy_data_swapping: bool = True
+    pipelined_addressing: bool = True
+    dual_rail: bool = False
+
+    @classmethod
+    def raw(cls) -> "VirtualQRAMOptions":
+        """The unoptimised construction (the RAW column of Table 1)."""
+        return cls(
+            recycle_address_qubits=False,
+            lazy_data_swapping=False,
+            pipelined_addressing=False,
+            dual_rail=False,
+        )
+
+    @classmethod
+    def all_enabled(cls) -> "VirtualQRAMOptions":
+        """Every optimization enabled (the OPT: ALL column of Table 1)."""
+        return cls()
+
+    @classmethod
+    def only(cls, optimization: str) -> "VirtualQRAMOptions":
+        """RAW plus a single named optimization (``"recycling"``, ``"lazy"``,
+        ``"pipelining"``), matching Table 1's per-optimization columns."""
+        base = dict(
+            recycle_address_qubits=False,
+            lazy_data_swapping=False,
+            pipelined_addressing=False,
+            dual_rail=False,
+        )
+        key = {
+            "recycling": "recycle_address_qubits",
+            "lazy": "lazy_data_swapping",
+            "pipelining": "pipelined_addressing",
+        }.get(optimization)
+        if key is None:
+            raise ValueError(f"unknown optimization {optimization!r}")
+        base[key] = True
+        return cls(**base)
+
+
+@dataclass
+class VirtualQRAM(QRAMArchitecture):
+    """Hybrid SQC + bucket-brigade virtual QRAM (the paper's contribution)."""
+
+    options: VirtualQRAMOptions = field(default_factory=VirtualQRAMOptions)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width < 1:
+            raise ValueError("virtual QRAM needs a QRAM width of at least 1")
+        self.name = "virtual"
+
+    # ----------------------------------------------------------------- builder
+    def _build(self) -> QuantumCircuit:
+        opts = self.options
+        alloc = QubitAllocator()
+        sqc_address = alloc.register("sqc_address", self.k)
+        qram_address = alloc.register("qram_address", self.m)
+        bus = alloc.register("bus", 1)
+        tree = RouterTree(
+            depth=self.m,
+            allocator=alloc,
+            separate_accumulators=not opts.recycle_address_qubits,
+            dual_rail_leaves=opts.dual_rail,
+        )
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits,
+            registers=alloc.registers,
+            metadata={"options": opts},
+        )
+
+        # ---------------------------------------------- Stage 1: address loading
+        tree.load_address(
+            circuit, list(qram_address), pipelined=opts.pipelined_addressing
+        )
+        tree.route_marker_to_leaves(circuit)
+
+        # ---------------------------------------------- Stage 2: data retrieval
+        pages = [
+            self.memory.page(p, self.m, self.bit_plane) for p in range(self.num_pages)
+        ]
+        for page_index in range(self.num_pages):
+            write_mask = self._page_write_mask(pages, page_index)
+            self._apply_classical_gates(circuit, tree, write_mask)
+            self._retrieve_page(circuit, tree, sqc_address, bus[0], page_index)
+            if not opts.lazy_data_swapping:
+                # Fully unload the page's classically-controlled gates before
+                # the next page is written.
+                self._apply_classical_gates(circuit, tree, pages[page_index])
+        if opts.lazy_data_swapping:
+            # A single cleanup pass removes the residue of the final page.
+            self._apply_classical_gates(circuit, tree, pages[-1])
+
+        # ------------------------------------------- Uncompute address loading
+        tree.unroute_marker_from_leaves(circuit)
+        tree.unload_address(
+            circuit, list(qram_address), pipelined=opts.pipelined_addressing
+        )
+        return circuit
+
+    # ----------------------------------------------------------------- helpers
+    def _page_write_mask(
+        self, pages: list[tuple[int, ...]], page_index: int
+    ) -> tuple[int, ...]:
+        """Classical bits whose gates must be toggled before this page's MCX."""
+        if page_index == 0 or not self.options.lazy_data_swapping:
+            return pages[page_index]
+        previous = pages[page_index - 1]
+        current = pages[page_index]
+        return tuple(a ^ b for a, b in zip(previous, current))
+
+    def _apply_classical_gates(
+        self, circuit: QuantumCircuit, tree: RouterTree, mask: tuple[int, ...]
+    ) -> None:
+        """Apply the classically-controlled gates selected by ``mask``.
+
+        Bit encoding: include leaf ``i`` in the CX compression tree.
+        Dual-rail encoding: swap the marker into the leaf's ancilla rail.
+        """
+        for leaf_index, bit in enumerate(mask):
+            if not bit:
+                continue
+            if self.options.dual_rail:
+                circuit.swap(
+                    tree.leaves[leaf_index],
+                    tree.leaf_ancillas[leaf_index],
+                    tags=("classical",),
+                )
+            else:
+                circuit.cx(
+                    tree.leaves[leaf_index],
+                    tree.leaf_parent_accumulator(leaf_index),
+                    tags=("classical",),
+                )
+
+    def _retrieve_page(
+        self,
+        circuit: QuantumCircuit,
+        tree: RouterTree,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        """CX-compress to the root, copy to the bus for ``page_index``, uncompute."""
+        if self.options.dual_rail:
+            self._dual_rail_contributions(circuit, tree)
+        tree.accumulate_to_root(circuit)
+        self._copy_root_to_bus(circuit, tree, sqc_address, bus, page_index)
+        tree.unaccumulate_from_root(circuit)
+        if self.options.dual_rail:
+            self._dual_rail_contributions(circuit, tree)
+
+    def _dual_rail_contributions(self, circuit: QuantumCircuit, tree: RouterTree) -> None:
+        """XOR every leaf's ancilla rail into its parent accumulator."""
+        for leaf_index in range(tree.capacity):
+            circuit.cx(
+                tree.leaf_ancillas[leaf_index],
+                tree.leaf_parent_accumulator(leaf_index),
+            )
+
+    def _copy_root_to_bus(
+        self,
+        circuit: QuantumCircuit,
+        tree: RouterTree,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        """MCX copying the root accumulator to the bus for the selected page."""
+        controls = list(sqc_address)
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (page_index >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls + [tree.root_accumulator], bus)
+        for q in zero_controls:
+            circuit.x(q)

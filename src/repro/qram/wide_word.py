@@ -1,0 +1,186 @@
+"""Wide-word virtual QRAM: querying multi-bit memory cells in a single pass.
+
+Section 8 of the paper notes that the virtual QRAM is compatible with data
+widths larger than one bit by retrieving the cell one bit at a time, and that
+the parallel-retrieval idea of Chen et al. can be folded in.  This module
+implements that extension as a first-class architecture:
+
+* the bus becomes a ``data_width``-qubit register;
+* the (expensive) address-loading stage and the marker preparation run
+  **once** per query, exactly as in the single-bit design -- the load-once
+  property extends to the data width;
+* inside each page iteration the (cheap, Clifford) data-retrieval stage is
+  repeated once per bit plane, copying bit plane ``b`` of the addressed cell
+  onto bus qubit ``b``.
+
+Compared with running :class:`~repro.qram.query.MultiBitQuery` (one full query
+per plane), the wide-word query saves a factor ``data_width`` of address
+loading and marker routing -- i.e. the whole T-gate budget -- which is what
+the benchmarks' extension study quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import QubitAllocator
+from repro.qram.base import QRAMArchitecture
+from repro.qram.tree import RouterTree
+from repro.qram.virtual_qram import VirtualQRAMOptions
+from repro.sim.paths import PathState
+
+
+@dataclass
+class WideWordVirtualQRAM(QRAMArchitecture):
+    """Virtual QRAM whose bus register returns the whole multi-bit word."""
+
+    options: VirtualQRAMOptions = field(default_factory=VirtualQRAMOptions)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qram_width < 1:
+            raise ValueError("wide-word virtual QRAM needs a QRAM width of at least 1")
+        if self.options.dual_rail:
+            raise ValueError(
+                "the dual-rail leaf encoding is only implemented for the "
+                "single-bit virtual QRAM"
+            )
+        self.name = "wide_virtual"
+
+    # ------------------------------------------------------------- interfaces
+    @property
+    def data_width(self) -> int:
+        """Number of bits per memory cell (= bus register width)."""
+        return self.memory.data_width
+
+    def bus_qubits(self) -> list[int]:
+        """The full bus register (most significant bit plane first)."""
+        return list(self.build_circuit().registers["bus"])
+
+    def bus_qubit(self) -> int:
+        """The most significant bus qubit (kept for base-class compatibility)."""
+        return self.bus_qubits()[0]
+
+    def kept_qubits(self) -> list[int]:
+        return self.address_qubits() + self.bus_qubits()
+
+    def ideal_output(self, input_state: PathState | None = None) -> PathState:
+        """Each bus qubit carries one bit plane of the addressed cell."""
+        state = self.input_state() if input_state is None else input_state
+        bits = state.bits.copy()
+        addresses = state.register_values(self.address_qubits())
+        for plane, bus_qubit in enumerate(self.bus_qubits()):
+            plane_bits = np.array(
+                [self.memory.bit(int(address), plane) for address in addresses],
+                dtype=bool,
+            )
+            bits[:, bus_qubit] ^= plane_bits
+        return PathState(bits=bits, amplitudes=state.amplitudes.copy())
+
+    def verify(self, input_state: PathState | None = None) -> bool:
+        state = self.input_state() if input_state is None else input_state
+        produced = self.simulate(state).as_dict()
+        expected = self.ideal_output(state).as_dict()
+        if set(produced) != set(expected):
+            return False
+        return all(abs(produced[key] - expected[key]) < 1e-9 for key in expected)
+
+    def read_word(self, address: int) -> int:
+        """Noiseless readout of the whole word stored at ``address``."""
+        state = self.input_state({address: 1.0})
+        output = self.simulate(state)
+        value = 0
+        for bus_qubit in self.bus_qubits():
+            value = (value << 1) | int(output.bits[0, bus_qubit])
+        return value
+
+    # ----------------------------------------------------------------- builder
+    def _build(self) -> QuantumCircuit:
+        opts = self.options
+        alloc = QubitAllocator()
+        sqc_address = alloc.register("sqc_address", self.k)
+        qram_address = alloc.register("qram_address", self.m)
+        bus = alloc.register("bus", self.data_width)
+        tree = RouterTree(
+            depth=self.m,
+            allocator=alloc,
+            separate_accumulators=not opts.recycle_address_qubits,
+        )
+        circuit = QuantumCircuit(
+            num_qubits=alloc.num_qubits,
+            registers=alloc.registers,
+            metadata={"options": opts, "data_width": self.data_width},
+        )
+
+        # Load-once address loading and marker preparation (shared by planes).
+        tree.load_address(
+            circuit, list(qram_address), pipelined=opts.pipelined_addressing
+        )
+        tree.route_marker_to_leaves(circuit)
+
+        # Retrieval order: all bit planes of page 0, then page 1, ...  Lazy data
+        # swapping merges the unload of one (page, plane) mask with the load of
+        # the next, exactly as in the single-bit builder.
+        retrieval_steps = [
+            (page_index, plane, self.memory.page(page_index, self.m, plane))
+            for page_index in range(self.num_pages)
+            for plane in range(self.data_width)
+        ]
+        previous_mask: tuple[int, ...] | None = None
+        for page_index, plane, page in retrieval_steps:
+            if previous_mask is None or not opts.lazy_data_swapping:
+                write_mask = page
+            else:
+                write_mask = tuple(a ^ b for a, b in zip(previous_mask, page))
+            self._apply_classical_gates(circuit, tree, write_mask)
+            tree.accumulate_to_root(circuit)
+            self._copy_root_to_bus(circuit, tree, sqc_address, bus[plane], page_index)
+            tree.unaccumulate_from_root(circuit)
+            if not opts.lazy_data_swapping:
+                self._apply_classical_gates(circuit, tree, page)
+            previous_mask = page
+        if opts.lazy_data_swapping and retrieval_steps:
+            self._apply_classical_gates(circuit, tree, retrieval_steps[-1][2])
+
+        tree.unroute_marker_from_leaves(circuit)
+        tree.unload_address(
+            circuit, list(qram_address), pipelined=opts.pipelined_addressing
+        )
+        return circuit
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _apply_classical_gates(
+        circuit: QuantumCircuit, tree: RouterTree, page: tuple[int, ...]
+    ) -> None:
+        for leaf_index, bit in enumerate(page):
+            if bit:
+                circuit.cx(
+                    tree.leaves[leaf_index],
+                    tree.leaf_parent_accumulator(leaf_index),
+                    tags=("classical",),
+                )
+
+    @staticmethod
+    def _copy_root_to_bus(
+        circuit: QuantumCircuit,
+        tree: RouterTree,
+        sqc_address,
+        bus: int,
+        page_index: int,
+    ) -> None:
+        controls = list(sqc_address)
+        width = len(controls)
+        zero_controls = [
+            q
+            for bit_index, q in enumerate(controls)
+            if not (page_index >> (width - 1 - bit_index)) & 1
+        ]
+        for q in zero_controls:
+            circuit.x(q)
+        circuit.mcx(controls + [tree.root_accumulator], bus)
+        for q in zero_controls:
+            circuit.x(q)

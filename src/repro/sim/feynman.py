@@ -1,0 +1,249 @@
+"""Vectorised Feynman-path simulator (Sec. 6.2 of the paper).
+
+Every gate the QRAM architectures use is either a permutation of computational
+basis states (``X``, ``CX``, ``CCX``, ``MCX``, ``SWAP``, ``CSWAP``) or diagonal
+up to a bit flip (the Pauli errors ``X``/``Y``/``Z`` and the phase gates
+``Z``/``S``/``T``/``CZ``).  A basis state therefore never branches: it is a
+*path* ``(bitstring, amplitude)`` that each gate updates in place.
+
+The simulator stores all paths of the input superposition as a boolean matrix
+``(n_paths, n_qubits)`` and applies each gate with NumPy column operations, so
+the cost of a query is ``O(n_gates * n_paths)`` and the memory footprint is
+constant in circuit depth -- the property that lets the paper simulate noisy
+QRAMs far beyond the reach of dense statevector simulation.
+
+For Monte-Carlo noise the simulator goes one step further and vectorises over
+shots as well: the path matrix is replicated ``shots`` times and, after each
+gate, per-shot Pauli errors are drawn and applied as masked column updates.
+This turns the ``shots x gates`` Python loop into a single pass over the gate
+list, which is what makes the Figure 9-12 sweeps tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import is_path_simulable
+from repro.circuit.instruction import Instruction
+from repro.sim.fidelity import shot_fidelities
+from repro.sim.noise import (
+    NoiseModel,
+    NoiselessModel,
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+)
+from repro.sim.paths import PathState
+
+_T_PHASE = np.exp(1j * np.pi / 4)
+
+
+class UnsupportedGateError(ValueError):
+    """Raised when a circuit contains a gate that branches basis states (e.g. H)."""
+
+
+def _apply_instruction(bits: np.ndarray, amps: np.ndarray, instr: Instruction) -> None:
+    """Apply one gate to every row of ``bits``/``amps`` in place."""
+    gate = instr.gate
+    q = instr.qubits
+    if gate == "I" or gate == "BARRIER":
+        return
+    if gate == "X":
+        bits[:, q[0]] ^= True
+    elif gate == "Y":
+        col = bits[:, q[0]]
+        amps *= np.where(col, -1j, 1j)
+        bits[:, q[0]] = ~col
+    elif gate == "Z":
+        amps[bits[:, q[0]]] *= -1.0
+    elif gate == "S":
+        amps[bits[:, q[0]]] *= 1j
+    elif gate == "SDG":
+        amps[bits[:, q[0]]] *= -1j
+    elif gate == "T":
+        amps[bits[:, q[0]]] *= _T_PHASE
+    elif gate == "TDG":
+        amps[bits[:, q[0]]] *= np.conj(_T_PHASE)
+    elif gate == "CX":
+        bits[:, q[1]] ^= bits[:, q[0]]
+    elif gate == "CZ":
+        amps[bits[:, q[0]] & bits[:, q[1]]] *= -1.0
+    elif gate == "SWAP":
+        a = bits[:, q[0]].copy()
+        bits[:, q[0]] = bits[:, q[1]]
+        bits[:, q[1]] = a
+    elif gate == "CCX":
+        bits[:, q[2]] ^= bits[:, q[0]] & bits[:, q[1]]
+    elif gate == "CSWAP":
+        control, a, b = q
+        diff = (bits[:, a] ^ bits[:, b]) & bits[:, control]
+        bits[:, a] ^= diff
+        bits[:, b] ^= diff
+    elif gate == "MCX":
+        controls, target = q[:-1], q[-1]
+        active = np.all(bits[:, list(controls)], axis=1)
+        bits[:, target] ^= active
+    else:
+        raise UnsupportedGateError(
+            f"gate {gate} is not simulable by the Feynman-path simulator"
+        )
+
+
+def _apply_masked_pauli(
+    bits: np.ndarray, amps: np.ndarray, qubit: int, codes: np.ndarray
+) -> None:
+    """Apply per-row Pauli errors on ``qubit`` given integer ``codes`` per row."""
+    flip = (codes == PAULI_X) | (codes == PAULI_Y)
+    if np.any(flip):
+        # Phase of Y depends on the *pre-flip* bit value: Y|0> = i|1>, Y|1> = -i|0>.
+        y_rows = codes == PAULI_Y
+        if np.any(y_rows):
+            amps[y_rows] *= np.where(bits[y_rows, qubit], -1j, 1j)
+        bits[flip, qubit] ^= True
+    z_rows = (codes == PAULI_Z) & bits[:, qubit]
+    if np.any(z_rows):
+        amps[z_rows] *= -1.0
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a Monte-Carlo noisy query simulation."""
+
+    fidelities: np.ndarray
+    shots: int
+
+    @property
+    def mean_fidelity(self) -> float:
+        return float(np.mean(self.fidelities))
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean fidelity."""
+        if self.shots <= 1:
+            return 0.0
+        return float(np.std(self.fidelities, ddof=1) / np.sqrt(self.shots))
+
+
+class FeynmanPathSimulator:
+    """Simulates basis-permutation circuits path by path (see module docstring)."""
+
+    def validate(self, circuit: QuantumCircuit) -> None:
+        """Raise :class:`UnsupportedGateError` if any gate cannot be simulated."""
+        for instr in circuit.gates:
+            if not is_path_simulable(instr.gate):
+                raise UnsupportedGateError(
+                    f"gate {instr.gate} is not simulable by the Feynman-path simulator"
+                )
+
+    # ----------------------------------------------------------- noiseless run
+    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+        """Run ``circuit`` on ``state`` and return the output :class:`PathState`."""
+        if state.num_qubits != circuit.num_qubits:
+            raise ValueError(
+                f"state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+        self.validate(circuit)
+        bits = state.bits.copy()
+        amps = state.amplitudes.copy()
+        for instr in circuit.instructions:
+            if instr.is_barrier:
+                continue
+            _apply_instruction(bits, amps, instr)
+        return PathState(bits=bits, amplitudes=amps)
+
+    # -------------------------------------------------------- noisy Monte Carlo
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate ``shots`` Monte-Carlo noise samples in one vectorised pass.
+
+        Returns the final ``bits`` block of shape ``(shots * n_paths, n_qubits)``
+        and the matching amplitude vector.  Rows ``[s * n_paths, (s+1) * n_paths)``
+        belong to shot ``s``.
+        """
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        if state.num_qubits != circuit.num_qubits:
+            raise ValueError(
+                f"state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+        self.validate(circuit)
+        rng = np.random.default_rng() if rng is None else rng
+
+        n_paths = state.num_paths
+        bits = np.tile(state.bits, (shots, 1))
+        amps = np.tile(state.amplitudes, shots).astype(complex)
+
+        noiseless = isinstance(noise, NoiselessModel)
+        for instr in circuit.instructions:
+            if instr.is_barrier:
+                continue
+            _apply_instruction(bits, amps, instr)
+            if noiseless:
+                continue
+            for qubit, channel in noise.gate_error_channels(instr):
+                if channel.is_trivial:
+                    continue
+                shot_codes = channel.sample(rng, shots)
+                if not np.any(shot_codes != PAULI_I):
+                    continue
+                row_codes = np.repeat(shot_codes, n_paths)
+                _apply_masked_pauli(bits, amps, qubit, row_codes)
+        return bits, amps
+
+    def query_fidelities(
+        self,
+        circuit: QuantumCircuit,
+        input_state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        *,
+        keep_qubits: list[int] | None = None,
+        ideal_output: PathState | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """Monte-Carlo estimate of the query fidelity under ``noise``.
+
+        Parameters
+        ----------
+        circuit:
+            The (noise-free) query circuit.
+        input_state:
+            Input superposition, typically
+            ``PathState.register_superposition`` over the address register.
+        noise:
+            Noise model; gate-based models are applied on the fly.
+        shots:
+            Number of Monte-Carlo noise samples.
+        keep_qubits:
+            Qubits defining the *reduced* fidelity (normally address + bus,
+            i.e. the registers whose state the algorithm actually consumes).
+            ``None`` computes the full-state overlap fidelity.
+        ideal_output:
+            Pre-computed noiseless output (saves a simulation when sweeping
+            noise parameters over the same circuit).
+        rng:
+            NumPy random generator for reproducibility.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        if ideal_output is None:
+            ideal_output = self.run(circuit, input_state)
+        bits, amps = self.run_noisy_shots(circuit, input_state, noise, shots, rng=rng)
+        fidelities = shot_fidelities(
+            ideal_output,
+            bits,
+            amps,
+            shots=shots,
+            n_paths=input_state.num_paths,
+            keep_qubits=keep_qubits,
+        )
+        return QueryResult(fidelities=fidelities, shots=shots)

@@ -1,0 +1,130 @@
+"""Query-fidelity metrics (Sec. 5 of the paper).
+
+Two fidelities are used throughout the reproduction:
+
+* the **full-state fidelity** ``F = |<psi_ideal | psi_noisy>|^2`` over every
+  qubit in the circuit, and
+* the **reduced fidelity** over the *kept* registers (address + bus), i.e.
+  ``F = <phi | Tr_rest(rho_noisy) | phi>`` where ``phi`` is the ideal state of
+  the kept registers.  This is the operationally meaningful figure of merit: a
+  quantum algorithm only consumes the address and bus registers, and it is the
+  quantity under which the bucket-brigade architecture exhibits its celebrated
+  resilience to generic noise (the per-branch locality argument of Sec. 5.1).
+
+Both metrics operate on path-sum representations, so they are exact for a
+given Pauli error pattern; the Monte-Carlo average over patterns is taken by
+:class:`~repro.sim.feynman.FeynmanPathSimulator.query_fidelities`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.paths import PathState
+
+
+def state_fidelity(ideal: PathState, noisy: PathState) -> float:
+    """Full-state fidelity ``|<ideal|noisy>|^2`` between two pure path states."""
+    return float(abs(ideal.overlap(noisy)) ** 2)
+
+
+def _pack_rows(bits: np.ndarray, columns: list[int]) -> list[bytes]:
+    """Hashable key per row restricted to ``columns`` (empty list -> b'')."""
+    if not columns:
+        return [b""] * bits.shape[0]
+    packed = np.packbits(bits[:, columns], axis=1)
+    return [row.tobytes() for row in packed]
+
+
+def _ideal_keep_amplitudes(
+    ideal: PathState, keep_columns: list[int]
+) -> dict[bytes, complex]:
+    """Amplitude of each kept-register basis state in the ideal output.
+
+    The ideal output is required to be a *product* state across the
+    (keep, rest) cut -- for QRAM queries the rest registers (routers, wires,
+    data ancillae) must return to |0...0>, so this always holds for a correct
+    builder.  A non-product ideal output indicates a builder bug and raises.
+    """
+    rest_columns = [q for q in range(ideal.num_qubits) if q not in set(keep_columns)]
+    rest_keys = _pack_rows(ideal.bits, rest_columns)
+    if len(set(rest_keys)) > 1:
+        raise ValueError(
+            "ideal output is entangled across the keep/rest cut; "
+            "reduced fidelity is only defined for product ideal outputs"
+        )
+    keep_keys = _pack_rows(ideal.bits, keep_columns)
+    amplitudes: dict[bytes, complex] = {}
+    for key, amp in zip(keep_keys, ideal.amplitudes):
+        amplitudes[key] = amplitudes.get(key, 0.0 + 0.0j) + complex(amp)
+    return amplitudes
+
+
+def reduced_fidelity(
+    ideal: PathState, noisy: PathState, keep_qubits: list[int]
+) -> float:
+    """Fidelity of the kept registers with the rest traced out.
+
+    ``F = sum_g |<phi_keep | phi_g>|^2`` where ``phi_g`` collects the noisy
+    amplitude on kept-register states for each basis state ``g`` of the traced
+    registers.
+    """
+    keep_columns = list(keep_qubits)
+    ideal_keep = _ideal_keep_amplitudes(ideal, keep_columns)
+    rest_columns = [q for q in range(noisy.num_qubits) if q not in set(keep_columns)]
+
+    noisy_keep_keys = _pack_rows(noisy.bits, keep_columns)
+    noisy_rest_keys = _pack_rows(noisy.bits, rest_columns)
+
+    overlaps: dict[bytes, complex] = {}
+    for keep_key, rest_key, amp in zip(noisy_keep_keys, noisy_rest_keys, noisy.amplitudes):
+        ideal_amp = ideal_keep.get(keep_key)
+        if ideal_amp is None:
+            continue
+        overlaps[rest_key] = overlaps.get(rest_key, 0.0 + 0.0j) + np.conj(ideal_amp) * amp
+    return float(sum(abs(value) ** 2 for value in overlaps.values()))
+
+
+def shot_fidelities(
+    ideal: PathState,
+    bits_block: np.ndarray,
+    amps_block: np.ndarray,
+    *,
+    shots: int,
+    n_paths: int,
+    keep_qubits: list[int] | None = None,
+) -> np.ndarray:
+    """Per-shot fidelities for a vectorised Monte-Carlo block.
+
+    ``bits_block``/``amps_block`` are the outputs of
+    :meth:`FeynmanPathSimulator.run_noisy_shots`: ``shots`` stacked copies of
+    the path set, each evolved under an independently sampled error pattern.
+
+    When ``keep_qubits`` is ``None`` the full-state fidelity is computed;
+    otherwise the reduced fidelity over ``keep_qubits``.
+    """
+    num_qubits = ideal.num_qubits
+    if keep_qubits is None:
+        keep_columns = list(range(num_qubits))
+        rest_columns: list[int] = []
+    else:
+        keep_columns = list(keep_qubits)
+        rest_columns = [q for q in range(num_qubits) if q not in set(keep_columns)]
+
+    ideal_keep = _ideal_keep_amplitudes(ideal, keep_columns)
+
+    keep_keys = _pack_rows(bits_block, keep_columns)
+    rest_keys = _pack_rows(bits_block, rest_columns)
+
+    fidelities = np.empty(shots, dtype=float)
+    for shot in range(shots):
+        start = shot * n_paths
+        overlaps: dict[bytes, complex] = {}
+        for row in range(start, start + n_paths):
+            ideal_amp = ideal_keep.get(keep_keys[row])
+            if ideal_amp is None:
+                continue
+            key = rest_keys[row]
+            overlaps[key] = overlaps.get(key, 0.0 + 0.0j) + np.conj(ideal_amp) * amps_block[row]
+        fidelities[shot] = sum(abs(value) ** 2 for value in overlaps.values())
+    return fidelities

@@ -1,0 +1,178 @@
+"""Path-sum representation of quantum states restricted to basis-permutation circuits.
+
+A :class:`PathState` stores a superposition ``sum_i alpha_i |b_i>`` as
+
+* ``bits``: a boolean matrix of shape ``(n_paths, n_qubits)``; row ``i`` is the
+  computational basis state of path ``i`` (``bits[i, q]`` is the value of qubit
+  ``q``), and
+* ``amplitudes``: a complex vector of length ``n_paths``.
+
+Because QRAM circuits never branch a basis state into a superposition
+(Sec. 6.2 of the paper), the number of paths is fixed by the *input* state and
+never grows, which is exactly why the Feynman-path simulator scales to QRAM
+sizes that are far out of reach for dense statevector simulation.
+
+The bit-ordering convention throughout the library is *little-endian in the
+qubit index*: when a group of qubits ``(q_0, q_1, ..., q_{w-1})`` encodes an
+integer, ``q_0`` holds the most significant bit (this matches how the QRAM
+builders lay out address registers).  Helpers on this class perform the
+conversions so callers never manipulate raw bit positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Big-endian bit tuple of ``value`` over ``width`` bits.
+
+    >>> int_to_bits(5, 4)
+    (0, 1, 0, 1)
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or (width < value.bit_length()):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (first element is the most significant bit)."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+@dataclass
+class PathState:
+    """Superposition over computational basis states, one row per path."""
+
+    bits: np.ndarray
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=bool)
+        self.amplitudes = np.asarray(self.amplitudes, dtype=complex)
+        if self.bits.ndim != 2:
+            raise ValueError("bits must be a 2-D (n_paths, n_qubits) array")
+        if self.amplitudes.shape != (self.bits.shape[0],):
+            raise ValueError("amplitudes must have one entry per path")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_basis_assignments(
+        cls,
+        assignments: Iterable[tuple[Mapping[int, int], complex]],
+        num_qubits: int,
+    ) -> "PathState":
+        """Build a state from ``(qubit -> bit, amplitude)`` pairs.
+
+        Qubits absent from an assignment default to 0.
+        """
+        rows = []
+        amps = []
+        for mapping, amp in assignments:
+            row = np.zeros(num_qubits, dtype=bool)
+            for qubit, bit in mapping.items():
+                if qubit < 0 or qubit >= num_qubits:
+                    raise ValueError(f"qubit {qubit} out of range")
+                row[qubit] = bool(bit)
+            rows.append(row)
+            amps.append(amp)
+        if not rows:
+            raise ValueError("at least one basis assignment is required")
+        return cls(bits=np.array(rows, dtype=bool), amplitudes=np.array(amps))
+
+    @classmethod
+    def register_superposition(
+        cls,
+        num_qubits: int,
+        register: Sequence[int],
+        amplitudes: Mapping[int, complex] | None = None,
+    ) -> "PathState":
+        """State with a superposition of integer values on ``register``.
+
+        Parameters
+        ----------
+        num_qubits:
+            Total qubit count of the circuit; all qubits outside ``register``
+            start in |0>.
+        register:
+            Qubit indices encoding the integer, most significant bit first.
+        amplitudes:
+            Mapping from integer value to amplitude.  ``None`` means the
+            uniform superposition over all ``2**len(register)`` values, which
+            is the input state used throughout the paper's evaluation.
+        """
+        width = len(register)
+        if amplitudes is None:
+            norm = 1.0 / np.sqrt(2**width) if width else 1.0
+            amplitudes = {value: norm for value in range(2**width)}
+        assignments = []
+        for value, amp in sorted(amplitudes.items()):
+            mapping = {register[i]: bit for i, bit in enumerate(int_to_bits(value, width))}
+            assignments.append((mapping, amp))
+        return cls.from_basis_assignments(assignments, num_qubits)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def num_paths(self) -> int:
+        return self.bits.shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return self.bits.shape[1]
+
+    def norm(self) -> float:
+        """2-norm of the amplitude vector (1.0 for normalised inputs)."""
+        return float(np.sqrt(np.sum(np.abs(self.amplitudes) ** 2)))
+
+    def copy(self) -> "PathState":
+        return PathState(bits=self.bits.copy(), amplitudes=self.amplitudes.copy())
+
+    def register_values(self, register: Sequence[int]) -> np.ndarray:
+        """Integer value encoded on ``register`` for every path (MSB first)."""
+        values = np.zeros(self.num_paths, dtype=np.int64)
+        for qubit in register:
+            values = (values << 1) | self.bits[:, qubit].astype(np.int64)
+        return values
+
+    def as_dict(self) -> dict[tuple[int, ...], complex]:
+        """Collapse to a mapping ``basis bit-tuple -> total amplitude``.
+
+        Paths landing on the same basis state are summed; zero-amplitude
+        entries are dropped.  This is the canonical form used for equality
+        checks and overlap computations.
+        """
+        out: dict[tuple[int, ...], complex] = {}
+        for row, amp in zip(self.bits, self.amplitudes):
+            key = tuple(int(b) for b in row)
+            out[key] = out.get(key, 0.0 + 0.0j) + complex(amp)
+        return {key: amp for key, amp in out.items() if abs(amp) > 1e-12}
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense statevector (little-endian in qubit index).
+
+        Only sensible for small ``num_qubits``; used by the test suite to
+        compare against :class:`~repro.sim.statevector.StatevectorSimulator`.
+        """
+        if self.num_qubits > 24:
+            raise ValueError("refusing to build a dense vector for > 24 qubits")
+        vec = np.zeros(2**self.num_qubits, dtype=complex)
+        weights = (1 << np.arange(self.num_qubits, dtype=np.int64))
+        indices = (self.bits.astype(np.int64) * weights).sum(axis=1)
+        np.add.at(vec, indices, self.amplitudes)
+        return vec
+
+    def overlap(self, other: "PathState") -> complex:
+        """Inner product ``<self|other>``."""
+        mine = self.as_dict()
+        total = 0.0 + 0.0j
+        for key, amp in other.as_dict().items():
+            total += np.conj(mine.get(key, 0.0)) * amp
+        return complex(total)

@@ -1,0 +1,167 @@
+"""Dense statevector reference simulator.
+
+This simulator exists for two reasons:
+
+1. **Cross-validation.**  The Feynman-path simulator is the workhorse of the
+   reproduction; every architectural claim rests on it being correct.  The
+   test suite therefore runs every small QRAM circuit on both simulators and
+   requires the outputs to match.
+
+2. **Scaling baseline.**  Section 6.2 of the paper argues that path simulation
+   scales to QRAM sizes that dense simulation cannot reach; the
+   ``bench_simulator_scaling`` benchmark measures the two engines against each
+   other to reproduce that claim.
+
+The implementation applies basis-permutation gates by index arithmetic and the
+remaining single-qubit gates (``H``, ``S``, ``T``, ``Y``, ``Z``) by a reshaped
+matrix product, so it supports every gate in the registry.  Qubit ``q``
+corresponds to bit ``q`` of the basis-state index (little-endian).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.sim.paths import PathState
+
+_MAX_DENSE_QUBITS = 22
+
+_SINGLE_QUBIT_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2),
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "TDG": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+}
+
+
+class StatevectorSimulator:
+    """Dense simulator for circuits on at most ``22`` qubits."""
+
+    def __init__(self, max_qubits: int = _MAX_DENSE_QUBITS):
+        self.max_qubits = max_qubits
+
+    # -------------------------------------------------------------- public API
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: PathState | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return the final statevector of ``circuit``.
+
+        ``initial_state`` may be a :class:`PathState`, a dense vector of length
+        ``2**num_qubits`` or ``None`` (all qubits in |0>).
+        """
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise ValueError(
+                f"{n} qubits exceeds the dense simulation limit of {self.max_qubits}"
+            )
+        psi = self._initial_vector(circuit, initial_state)
+        for instr in circuit.instructions:
+            if instr.is_barrier:
+                continue
+            psi = self._apply(psi, instr, n)
+        return psi
+
+    def run_to_path_state(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: PathState | np.ndarray | None = None,
+        tolerance: float = 1e-12,
+    ) -> PathState:
+        """Run and convert the (sparse) output back into a :class:`PathState`."""
+        psi = self.run(circuit, initial_state)
+        n = circuit.num_qubits
+        indices = np.nonzero(np.abs(psi) > tolerance)[0]
+        bits = ((indices[:, None] >> np.arange(n)) & 1).astype(bool)
+        return PathState(bits=bits, amplitudes=psi[indices])
+
+    # ----------------------------------------------------------------- helpers
+    def _initial_vector(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: PathState | np.ndarray | None,
+    ) -> np.ndarray:
+        n = circuit.num_qubits
+        if initial_state is None:
+            psi = np.zeros(2**n, dtype=complex)
+            psi[0] = 1.0
+            return psi
+        if isinstance(initial_state, PathState):
+            if initial_state.num_qubits != n:
+                raise ValueError("initial state qubit count mismatch")
+            return initial_state.to_statevector()
+        psi = np.asarray(initial_state, dtype=complex)
+        if psi.shape != (2**n,):
+            raise ValueError(f"statevector must have length {2**n}")
+        return psi.copy()
+
+    def _apply(self, psi: np.ndarray, instr: Instruction, n: int) -> np.ndarray:
+        gate = instr.gate
+        qubits = instr.qubits
+        if gate in ("H",):
+            return self._apply_single_matrix(psi, _SINGLE_QUBIT_MATRICES[gate], qubits[0])
+        if gate in _SINGLE_QUBIT_MATRICES and gate != "I":
+            # Diagonal/permutation single-qubit gates could use index logic, but
+            # the matrix route is equally exact and keeps one code path.
+            return self._apply_single_matrix(psi, _SINGLE_QUBIT_MATRICES[gate], qubits[0])
+        indices = np.arange(len(psi), dtype=np.int64)
+        if gate == "I":
+            return psi
+        if gate == "CX":
+            control, target = qubits
+            flip = ((indices >> control) & 1).astype(bool)
+            return self._permute(psi, np.where(flip, indices ^ (1 << target), indices))
+        if gate == "CZ":
+            control, target = qubits
+            mask = (((indices >> control) & 1) & ((indices >> target) & 1)).astype(bool)
+            out = psi.copy()
+            out[mask] *= -1
+            return out
+        if gate == "SWAP":
+            a, b = qubits
+            bit_a = (indices >> a) & 1
+            bit_b = (indices >> b) & 1
+            differ = (bit_a ^ bit_b).astype(bool)
+            swapped = indices ^ (((1 << a) | (1 << b)) * differ)
+            return self._permute(psi, swapped)
+        if gate == "CCX":
+            c1, c2, target = qubits
+            active = (((indices >> c1) & 1) & ((indices >> c2) & 1)).astype(bool)
+            return self._permute(psi, np.where(active, indices ^ (1 << target), indices))
+        if gate == "CSWAP":
+            control, a, b = qubits
+            bit_a = (indices >> a) & 1
+            bit_b = (indices >> b) & 1
+            active = (((indices >> control) & 1) & (bit_a ^ bit_b)).astype(bool)
+            swapped = indices ^ (((1 << a) | (1 << b)) * active)
+            return self._permute(psi, swapped)
+        if gate == "MCX":
+            controls, target = qubits[:-1], qubits[-1]
+            active = np.ones(len(psi), dtype=bool)
+            for c in controls:
+                active &= ((indices >> c) & 1).astype(bool)
+            return self._permute(psi, np.where(active, indices ^ (1 << target), indices))
+        raise ValueError(f"unsupported gate {gate}")
+
+    @staticmethod
+    def _permute(psi: np.ndarray, new_indices: np.ndarray) -> np.ndarray:
+        out = np.empty_like(psi)
+        out[new_indices] = psi
+        return out
+
+    @staticmethod
+    def _apply_single_matrix(psi: np.ndarray, matrix: np.ndarray, qubit: int) -> np.ndarray:
+        n = psi.shape[0]
+        stride = 1 << qubit
+        reshaped = psi.reshape(n // (2 * stride), 2, stride)
+        # axis 1 enumerates the value of `qubit`
+        out = np.einsum("ab,ibj->iaj", matrix, reshaped)
+        return out.reshape(n)

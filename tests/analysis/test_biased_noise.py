@@ -1,0 +1,105 @@
+"""Tests for Pauli error-cone propagation (the Fig. 7 locality argument)."""
+
+import pytest
+
+from repro.analysis import error_cone, pauli_weight_at_output, z_error_locality_fraction
+from repro.circuit import QuantumCircuit
+from repro.qram import ClassicalMemory, VirtualQRAM
+
+
+class TestCliffordPropagationRules:
+    def test_z_on_cx_control_stays_local(self):
+        """Fig. 7(a): a Z error on the control commutes with the CX."""
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="Z")
+        assert cone.support == {0}
+        assert cone.clifford_only
+
+    def test_x_on_cx_control_spreads_to_target(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="X")
+        assert cone.support == {0, 1}
+
+    def test_z_on_cx_target_back_propagates_to_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        cone = error_cone(circuit, start_index=-1, qubit=1, pauli="Z")
+        assert cone.support == {0, 1}
+
+    def test_error_after_the_gate_does_not_propagate(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        cone = error_cone(circuit, start_index=0, qubit=0, pauli="X")
+        assert cone.support == {0}
+
+    def test_swap_moves_the_error(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="X")
+        assert cone.support == {1}
+
+    def test_x_spreads_through_cx_chain(self):
+        """An X error rides a CX chain all the way to the last target."""
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 3)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="X")
+        assert cone.support == {0, 1, 2, 3}
+
+    def test_z_on_ccx_control_stays_local(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="Z")
+        assert cone.support == {0}
+
+    def test_x_on_cswap_control_marked_non_clifford(self):
+        circuit = QuantumCircuit(3)
+        circuit.cswap(0, 1, 2)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="X")
+        assert not cone.clifford_only
+        assert {1, 2} <= cone.support
+
+    def test_z_on_cswap_control_stays_local(self):
+        circuit = QuantumCircuit(3)
+        circuit.cswap(0, 1, 2)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="Z")
+        assert cone.support == {0}
+
+    def test_hadamard_exchanges_x_and_z(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        cone = error_cone(circuit, start_index=-1, qubit=0, pauli="Z")
+        # Z becomes X after H and then spreads through the CX.
+        assert cone.support == {0, 1}
+
+    def test_invalid_pauli_rejected(self):
+        circuit = QuantumCircuit(1)
+        with pytest.raises(ValueError):
+            error_cone(circuit, start_index=-1, qubit=0, pauli="W")
+
+    def test_pauli_weight_helper(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        assert pauli_weight_at_output(circuit, -1, 0, "X") == 3
+        assert pauli_weight_at_output(circuit, -1, 0, "Z") == 1
+
+
+class TestQRAMLocality:
+    def test_z_errors_mostly_avoid_the_bus(self, small_memory):
+        """The structural Z-bias resilience: most Z error locations never touch
+        the address/bus registers, whereas X locations overwhelmingly do."""
+        architecture = VirtualQRAM(memory=small_memory, qram_width=3)
+        circuit = architecture.build_circuit()
+        protected = [architecture.bus_qubit()]
+        z_fraction = z_error_locality_fraction(circuit, protected, pauli="Z")
+        x_fraction = z_error_locality_fraction(circuit, protected, pauli="X")
+        assert z_fraction > 0.8
+        assert x_fraction < z_fraction - 0.2
+
+    def test_empty_circuit_fraction_is_one(self):
+        assert z_error_locality_fraction(QuantumCircuit(2), [0]) == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the deployment planner built on the paper's analytic models."""
+
+import pytest
+
+from repro.analysis import (
+    candidate_splits,
+    logical_qubit_count,
+    plan_deployment,
+    required_error_reduction,
+)
+from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.sim import GateNoiseModel, PauliChannel
+
+
+class TestBuildingBlocks:
+    def test_candidate_splits_cover_all_m(self):
+        splits = candidate_splits(64)
+        assert splits[0] == (6, 0)
+        assert splits[-1] == (1, 5)
+        assert all(m + k == 6 for m, k in splits)
+
+    def test_candidate_splits_validation(self):
+        with pytest.raises(ValueError):
+            candidate_splits(48)
+        with pytest.raises(ValueError):
+            candidate_splits(1)
+
+    def test_logical_qubit_count_matches_builder(self):
+        for n, m in ((3, 2), (4, 3), (6, 4)):
+            memory = ClassicalMemory.random(n, rng=n)
+            built = VirtualQRAM(memory=memory, qram_width=m).build_circuit()
+            assert logical_qubit_count(m, n - m) == built.num_qubits
+
+    def test_required_error_reduction_monotone_in_target(self):
+        relaxed = required_error_reduction(64, 0.9)
+        strict = required_error_reduction(64, 0.999)
+        for split in relaxed:
+            assert strict[split] > relaxed[split]
+
+
+class TestPlanDeployment:
+    def test_easy_target_prefers_largest_tree(self):
+        plan = plan_deployment(16, target_fidelity=0.5, epsilon=1e-4)
+        assert plan is not None
+        assert (plan.m, plan.k) == (4, 0)
+        assert not plan.needs_error_correction
+
+    def test_qubit_budget_forces_paging(self):
+        unconstrained = plan_deployment(64, target_fidelity=0.5, epsilon=1e-5)
+        constrained = plan_deployment(
+            64, target_fidelity=0.5, epsilon=1e-5, max_logical_qubits=60
+        )
+        assert unconstrained is not None and constrained is not None
+        assert constrained.m < unconstrained.m
+        assert constrained.logical_qubits <= 60
+
+    def test_hard_target_triggers_error_correction(self):
+        plan = plan_deployment(256, target_fidelity=0.999, epsilon=1e-3)
+        assert plan is not None
+        assert plan.needs_error_correction
+        assert plan.code_design is not None
+        assert plan.physical_qubits() > plan.logical_qubits
+        assert plan.predicted_fidelity >= 0.999
+
+    def test_infeasible_when_correction_disallowed(self):
+        plan = plan_deployment(
+            256, target_fidelity=0.999, epsilon=1e-3, allow_error_correction=False
+        )
+        assert plan is None
+
+    def test_plan_summary_fields(self):
+        plan = plan_deployment(16, target_fidelity=0.9, epsilon=1e-5)
+        assert plan is not None
+        summary = plan.summary()
+        assert summary["memory_size"] == 16
+        assert "x" in summary["grid"]
+        assert summary["physical_qubits"] >= summary["logical_qubits"] - 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_deployment(16, target_fidelity=1.5)
+        with pytest.raises(ValueError):
+            plan_deployment(16, epsilon=0.0)
+
+    def test_plan_is_conservative_against_simulation(self):
+        """A plan accepted on bare hardware must also pass a Monte-Carlo check
+        (the bounds used by the planner are lower bounds)."""
+        plan = plan_deployment(16, target_fidelity=0.8, epsilon=1e-5)
+        assert plan is not None and not plan.needs_error_correction
+        memory = ClassicalMemory.random(4, rng=5)
+        architecture = VirtualQRAM(memory=memory, qram_width=plan.m)
+        noise = GateNoiseModel(PauliChannel.phase_flip(plan.epsilon))
+        result = architecture.run_query(noise, shots=256, rng=9)
+        assert result.mean_fidelity >= 0.8

@@ -1,0 +1,110 @@
+"""Tests for the Table 1 / Table 2 resource models and measured counterparts."""
+
+import pytest
+
+from repro.analysis import (
+    OPTIMIZATION_COLUMNS,
+    measured_table1_row,
+    measured_table2_row,
+    table1_formulas,
+    table2_formulas,
+)
+from repro.qram import ClassicalMemory
+
+
+class TestTable1Formulas:
+    def test_columns_present(self):
+        table = table1_formulas(4, 2)
+        assert set(table) == set(OPTIMIZATION_COLUMNS)
+
+    def test_recycling_saves_qubits(self):
+        table = table1_formulas(5, 2)
+        assert table["OPT1"]["qubits"] < table["RAW"]["qubits"]
+        assert table["ALL"]["qubits"] == table["OPT1"]["qubits"]
+
+    def test_pipelining_removes_quadratic_term(self):
+        table = table1_formulas(6, 1)
+        assert table["OPT3"]["circuit_depth"] == table["RAW"]["circuit_depth"] - (36 - 6)
+
+    def test_lazy_swapping_halves_classical_gates(self):
+        table = table1_formulas(4, 3)
+        assert table["OPT2"]["classical_controlled_gates"] == pytest.approx(
+            table["RAW"]["classical_controlled_gates"] / 2
+        )
+
+
+class TestTable1Measured:
+    def test_measured_trends_match_formula_trends(self):
+        memory = ClassicalMemory.random(7, rng=0)
+        measured = measured_table1_row(memory, qram_width=4)
+        assert measured["OPT1"]["qubits"] < measured["RAW"]["qubits"]
+        assert measured["OPT3"]["circuit_depth"] < measured["RAW"]["circuit_depth"]
+        assert (
+            measured["OPT2"]["classical_controlled_gates"]
+            < measured["RAW"]["classical_controlled_gates"]
+        )
+        assert (
+            measured["ALL"]["qubits"] == measured["OPT1"]["qubits"]
+        )
+
+    def test_non_targeted_metrics_unchanged(self):
+        """Each optimization only improves its own metric: e.g. lazy swapping
+        does not change the qubit count."""
+        memory = ClassicalMemory.random(6, rng=1)
+        measured = measured_table1_row(memory, qram_width=3)
+        assert measured["OPT2"]["qubits"] == measured["RAW"]["qubits"]
+        assert (
+            measured["OPT1"]["classical_controlled_gates"]
+            == measured["RAW"]["classical_controlled_gates"]
+        )
+
+
+class TestTable2Formulas:
+    def test_architectures_and_metrics(self):
+        table = table2_formulas(3, 2)
+        assert set(table) == {"SQC+BB", "SQC+SS", "Ours"}
+        for row in table.values():
+            assert set(row) == {
+                "qubits",
+                "circuit_depth",
+                "t_count",
+                "t_depth",
+                "clifford_depth",
+            }
+
+    def test_ours_never_worse(self):
+        for m, k in [(2, 1), (3, 2), (4, 3), (6, 4)]:
+            table = table2_formulas(m, k)
+            for metric in table["Ours"]:
+                assert table["Ours"][metric] <= table["SQC+BB"][metric]
+                assert table["Ours"][metric] <= table["SQC+SS"][metric]
+
+    def test_bb_t_count_scales_with_pages(self):
+        small = table2_formulas(6, 1)
+        large = table2_formulas(6, 4)
+        ratio_bb = large["SQC+BB"]["t_count"] / small["SQC+BB"]["t_count"]
+        ratio_ours = large["Ours"]["t_count"] / small["Ours"]["t_count"]
+        assert ratio_bb > 2 * ratio_ours
+
+
+class TestTable2Measured:
+    def test_measured_ordering_matches_paper(self):
+        memory = ClassicalMemory.random(6, rng=2)
+        measured = measured_table2_row(memory, qram_width=3)
+        ours = measured["Ours"]
+        assert ours["t_count"] < measured["SQC+BB"]["t_count"]
+        assert ours["t_depth"] < measured["SQC+BB"]["t_depth"]
+        assert ours["clifford_depth"] < measured["SQC+SS"]["clifford_depth"]
+        assert ours["circuit_depth"] <= measured["SQC+BB"]["circuit_depth"]
+
+    def test_measured_t_advantage_grows_with_pages(self):
+        """The load-once property: ours vs SQC+BB T-count ratio improves with k."""
+        ratios = []
+        for n in (4, 5, 6):
+            memory = ClassicalMemory.random(n, rng=3)
+            measured = measured_table2_row(memory, qram_width=3)
+            ratios.append(
+                measured["SQC+BB"]["t_count"] / measured["Ours"]["t_count"]
+            )
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]

@@ -1,0 +1,114 @@
+"""Tests for the rectangular surface-code model and the Eq. 7 design rule."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RectangularSurfaceCode,
+    balanced_distance_gap,
+    design_asymmetric_code,
+)
+
+
+class TestRectangularSurfaceCode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectangularSurfaceCode(d_x=0, d_z=3)
+        with pytest.raises(ValueError):
+            RectangularSurfaceCode(d_x=3, d_z=3, physical_error_rate=0.1, threshold=0.01)
+
+    def test_logical_rates_decrease_with_distance(self):
+        small = RectangularSurfaceCode(d_x=3, d_z=3)
+        large = RectangularSurfaceCode(d_x=7, d_z=7)
+        assert large.logical_x_rate() < small.logical_x_rate()
+        assert large.logical_z_rate() < small.logical_z_rate()
+
+    def test_logical_bias_matches_distance_gap(self):
+        """The premise of Eq. 7: p_x^L / p_z^L = (p / p_th)^(d_x - d_z)."""
+        code = RectangularSurfaceCode(d_x=9, d_z=5, physical_error_rate=1e-3, threshold=1e-2)
+        assert code.logical_bias() == pytest.approx(
+            code.logical_x_rate() / code.logical_z_rate()
+        )
+        assert code.logical_bias() == pytest.approx((1e-3 / 1e-2) ** 4)
+
+    def test_square_code_is_unbiased(self):
+        code = RectangularSurfaceCode(d_x=5, d_z=5)
+        assert code.logical_bias() == pytest.approx(1.0)
+
+    def test_physical_qubits(self):
+        assert RectangularSurfaceCode(d_x=3, d_z=3).physical_qubits() == 17
+        assert RectangularSurfaceCode(d_x=5, d_z=3).physical_qubits() == 29
+
+
+class TestBalancedDistanceGap:
+    def test_gap_is_positive(self):
+        """The QRAM is more sensitive to X errors, so d_x must exceed d_z."""
+        gap = balanced_distance_gap(m=4, k=2, physical_error_rate=1e-3, threshold=1e-2)
+        assert gap > 0
+
+    def test_gap_grows_with_qram_width(self):
+        gaps = [
+            balanced_distance_gap(m, 2, physical_error_rate=1e-3, threshold=1e-2)
+            for m in (2, 4, 6, 8)
+        ]
+        assert gaps == sorted(gaps)
+
+    def test_eq7_formula(self):
+        m, k, p, p_th = 3, 1, 1e-3, 1e-2
+        expected = math.log((k + m) / (k + 2**m)) / math.log(p / p_th)
+        assert balanced_distance_gap(m, k, p, p_th) == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            balanced_distance_gap(0, 1, 1e-3, 1e-2)
+        with pytest.raises(ValueError):
+            balanced_distance_gap(2, -1, 1e-3, 1e-2)
+        with pytest.raises(ValueError):
+            balanced_distance_gap(2, 1, 1e-1, 1e-2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 4))
+    def test_gap_balances_logical_rates(self, m, k):
+        """The (unrounded) Eq. 7 gap makes the logical bias equal the QRAM's
+        Z/X sensitivity ratio exactly: (p/p_th)^gap == (k+m)/(k+2^m)."""
+        p, p_th = 1e-3, 1e-2
+        gap = balanced_distance_gap(m, k, p, p_th)
+        target_ratio = (k + m) / (k + 2**m)
+        assert (p / p_th) ** gap == pytest.approx(target_ratio)
+        # The integer-distance code built from the rounded-up gap is at least
+        # as protective against X as the balance point requires.
+        code = RectangularSurfaceCode(
+            d_x=10 + math.ceil(gap), d_z=10, physical_error_rate=p, threshold=p_th
+        )
+        assert code.logical_bias() <= target_ratio + 1e-12
+
+
+class TestDesignAsymmetricCode:
+    def test_design_meets_target_rate(self):
+        design = design_asymmetric_code(m=4, k=2, target_logical_rate=1e-9)
+        assert design.qram_code.logical_z_rate() <= 1e-9
+        assert design.qram_code.d_x >= design.qram_code.d_z
+
+    def test_sqc_code_is_square_and_at_least_as_strong(self):
+        design = design_asymmetric_code(m=4, k=2)
+        assert design.sqc_code.d_x == design.sqc_code.d_z
+        assert design.sqc_code.d_x >= design.qram_code.d_z
+
+    def test_summary_and_budget(self):
+        design = design_asymmetric_code(m=3, k=1)
+        summary = design.summary()
+        assert summary["m"] == 3 and summary["k"] == 1
+        budget = design.total_physical_qubits(logical_qram_qubits=10, logical_sqc_qubits=2)
+        assert budget > 10 * design.qram_code.physical_qubits()
+
+    def test_stricter_target_needs_larger_distance(self):
+        relaxed = design_asymmetric_code(m=3, k=1, target_logical_rate=1e-6)
+        strict = design_asymmetric_code(m=3, k=1, target_logical_rate=1e-12)
+        assert strict.qram_code.d_z > relaxed.qram_code.d_z
+
+    def test_invalid_physical_rate_rejected(self):
+        with pytest.raises(ValueError):
+            design_asymmetric_code(m=3, k=1, physical_error_rate=0.1, threshold=0.01)

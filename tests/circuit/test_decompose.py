@@ -1,0 +1,143 @@
+"""Tests for Clifford+T costs and explicit gate decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CliffordTCost,
+    Instruction,
+    QuantumCircuit,
+    circuit_cost,
+    decompose_ccx,
+    decompose_cswap,
+    decompose_mcx,
+    gate_cost,
+)
+from repro.circuit.decompose import mcx_cost
+from repro.sim import StatevectorSimulator
+
+
+def _unitary_of(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary by simulating every computational basis input."""
+    dimension = 2**circuit.num_qubits
+    simulator = StatevectorSimulator()
+    columns = []
+    for basis in range(dimension):
+        vector = np.zeros(dimension, dtype=complex)
+        vector[basis] = 1.0
+        columns.append(simulator.run(circuit, vector))
+    return np.array(columns).T
+
+
+class TestGateCosts:
+    def test_toffoli_cost_matches_literature(self):
+        cost = gate_cost(Instruction(gate="CCX", qubits=(0, 1, 2)))
+        assert cost.t_count == 7
+        assert cost.t_depth == 3
+
+    def test_cswap_cost_matches_paper_quote(self):
+        """Sec. 2.2.1: CSWAP decomposes to depth 12, T depth 3, no ancillae."""
+        cost = gate_cost(Instruction(gate="CSWAP", qubits=(0, 1, 2)))
+        assert cost.total_depth == 12
+        assert cost.t_depth == 3
+        assert cost.ancillae == 0
+
+    def test_clifford_gates_have_no_t_cost(self):
+        for gate, qubits in (("X", (0,)), ("CX", (0, 1)), ("SWAP", (0, 1)), ("H", (0,))):
+            cost = gate_cost(Instruction(gate=gate, qubits=qubits))
+            assert cost.t_count == 0
+
+    def test_mcx_cost_grows_linearly_in_controls(self):
+        small = mcx_cost(3)
+        large = mcx_cost(6)
+        assert large.t_count > small.t_count
+        assert large.ancillae == 4
+        # V-chain: 2(c-2)+1 Toffolis.
+        assert mcx_cost(5).t_count == 7 * (2 * 3 + 1)
+
+    def test_mcx_cost_small_cases(self):
+        assert mcx_cost(0).clifford_count == 1
+        assert mcx_cost(1).t_count == 0
+        assert mcx_cost(2).t_count == 7
+        with pytest.raises(ValueError):
+            mcx_cost(-1)
+
+    def test_cost_addition_and_scaling(self):
+        a = CliffordTCost(t_count=2, t_depth=1, total_depth=3)
+        b = CliffordTCost(t_count=1, clifford_count=4, total_depth=2)
+        combined = a + b
+        assert combined.t_count == 3
+        assert combined.total_depth == 5
+        assert a.scaled(3).t_count == 6
+
+
+class TestCircuitCost:
+    def test_parallel_gates_share_depth(self):
+        circuit = QuantumCircuit(6)
+        circuit.ccx(0, 1, 2)
+        circuit.ccx(3, 4, 5)
+        cost = circuit_cost(circuit)
+        assert cost.t_count == 14
+        # Both Toffolis are in one ASAP layer, so T depth is that of a single one.
+        assert cost.t_depth == 3
+
+    def test_sequential_gates_accumulate_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        circuit.ccx(0, 1, 2)
+        cost = circuit_cost(circuit)
+        assert cost.t_depth == 6
+
+    def test_noise_excluded_from_cost(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.append(Instruction(gate="X", qubits=(0,), tags=frozenset({"noise"})))
+        assert circuit_cost(circuit).clifford_count == 1
+
+
+class TestExplicitDecompositions:
+    def test_ccx_decomposition_is_unitarily_equivalent(self):
+        primitive = QuantumCircuit(3)
+        primitive.ccx(0, 1, 2)
+        decomposed = QuantumCircuit(3, instructions=decompose_ccx(0, 1, 2))
+        assert np.allclose(_unitary_of(primitive), _unitary_of(decomposed))
+
+    def test_cswap_decomposition_is_unitarily_equivalent(self):
+        primitive = QuantumCircuit(3)
+        primitive.cswap(0, 1, 2)
+        decomposed = QuantumCircuit(3, instructions=decompose_cswap(0, 1, 2))
+        assert np.allclose(_unitary_of(primitive), _unitary_of(decomposed))
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_mcx_vchain_matches_primitive(self, num_controls):
+        """The V-chain equals MCX on the clean-ancilla subspace (ancillae in |0>),
+        and returns the ancillae to |0> afterwards."""
+        controls = tuple(range(num_controls))
+        target = num_controls
+        ancillae = tuple(range(num_controls + 1, num_controls + 1 + num_controls - 2))
+        total = num_controls + 1 + len(ancillae)
+
+        primitive = QuantumCircuit(total)
+        primitive.mcx(controls, target)
+        decomposed = QuantumCircuit(
+            total, instructions=decompose_mcx(controls, target, ancillae)
+        )
+        unitary_primitive = _unitary_of(primitive)
+        unitary_decomposed = _unitary_of(decomposed)
+        # Restrict to input basis states whose ancilla qubits are all |0>.
+        ancilla_mask = sum(1 << a for a in ancillae)
+        clean_inputs = [
+            basis for basis in range(2**total) if basis & ancilla_mask == 0
+        ]
+        assert np.allclose(
+            unitary_primitive[:, clean_inputs], unitary_decomposed[:, clean_inputs]
+        )
+
+    def test_mcx_decomposition_requires_enough_ancillae(self):
+        with pytest.raises(ValueError):
+            decompose_mcx((0, 1, 2, 3), 4, ancillae=(5,))
+
+    def test_mcx_decomposition_small_cases(self):
+        assert decompose_mcx((), 0, ())[0].gate == "X"
+        assert decompose_mcx((0,), 1, ())[0].gate == "CX"
+        assert decompose_mcx((0, 1), 2, ())[0].gate == "CCX"

@@ -1,0 +1,91 @@
+"""Unit tests for the gate registry."""
+
+import pytest
+
+from repro.circuit.gates import (
+    ALL_GATES,
+    CLIFFORD_GATES,
+    PATH_SIMULABLE_GATES,
+    REVERSIBLE_CLASSICAL_GATES,
+    gate_spec,
+    inverse_gate_name,
+    is_classical_reversible,
+    is_clifford,
+    is_path_simulable,
+    validate_arity,
+)
+
+
+class TestGateSpecLookup:
+    def test_known_gate_returns_spec(self):
+        spec = gate_spec("CSWAP")
+        assert spec.name == "CSWAP"
+        assert spec.num_qubits == 3
+
+    def test_lookup_is_case_insensitive(self):
+        assert gate_spec("cx").name == "CX"
+        assert gate_spec("Ccx").name == "CCX"
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_spec("RXX")
+
+    def test_every_registered_gate_has_consistent_inverse(self):
+        for name, spec in ALL_GATES.items():
+            assert inverse_gate_name(name) == spec.inverse_name
+            # The inverse of the inverse is the original gate.
+            assert inverse_gate_name(spec.inverse_name) == name
+
+    def test_self_inverse_gates_map_to_themselves(self):
+        for name, spec in ALL_GATES.items():
+            if spec.self_inverse:
+                assert spec.inverse_name == name
+
+
+class TestGateClassification:
+    def test_classical_reversible_gates(self):
+        for name in ("X", "CX", "CCX", "MCX", "SWAP", "CSWAP"):
+            assert is_classical_reversible(name)
+        for name in ("Z", "H", "S", "T", "Y", "CZ"):
+            assert not is_classical_reversible(name)
+
+    def test_clifford_classification(self):
+        for name in ("X", "Y", "Z", "H", "S", "CX", "CZ", "SWAP"):
+            assert is_clifford(name)
+        for name in ("T", "CCX", "CSWAP", "MCX"):
+            assert not is_clifford(name)
+
+    def test_path_simulable_includes_diagonal_gates(self):
+        assert REVERSIBLE_CLASSICAL_GATES <= PATH_SIMULABLE_GATES
+        for name in ("Z", "S", "T", "CZ", "Y"):
+            assert is_path_simulable(name)
+        assert not is_path_simulable("H")
+
+    def test_clifford_set_matches_specs(self):
+        assert CLIFFORD_GATES == {
+            name for name, spec in ALL_GATES.items() if spec.clifford
+        }
+
+
+class TestArityValidation:
+    @pytest.mark.parametrize(
+        "gate, arity",
+        [("X", 1), ("CX", 2), ("CCX", 3), ("CSWAP", 3), ("SWAP", 2)],
+    )
+    def test_correct_arity_passes(self, gate, arity):
+        validate_arity(gate, arity)
+
+    @pytest.mark.parametrize("gate, arity", [("X", 2), ("CX", 3), ("CSWAP", 2)])
+    def test_wrong_arity_raises(self, gate, arity):
+        with pytest.raises(ValueError):
+            validate_arity(gate, arity)
+
+    def test_mcx_needs_at_least_two_qubits(self):
+        with pytest.raises(ValueError):
+            validate_arity("MCX", 1)
+        validate_arity("MCX", 2)
+        validate_arity("MCX", 9)
+
+    def test_barrier_accepts_any_arity(self):
+        validate_arity("BARRIER", 0)
+        validate_arity("BARRIER", 17)

@@ -1,0 +1,78 @@
+"""Unit tests for the Instruction dataclass."""
+
+import pytest
+
+from repro.circuit import Instruction
+
+
+class TestConstruction:
+    def test_basic_construction_normalises_name(self):
+        instr = Instruction(gate="cx", qubits=(0, 1))
+        assert instr.gate == "CX"
+        assert instr.qubits == (0, 1)
+        assert instr.num_qubits == 2
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(gate="CX", qubits=(1, 1))
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(gate="X", qubits=(-2,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(gate="CCX", qubits=(0, 1))
+
+    def test_tags_are_frozen_set(self):
+        instr = Instruction(gate="X", qubits=(0,), tags={"classical"})
+        assert isinstance(instr.tags, frozenset)
+        assert instr.is_classically_controlled
+        assert not instr.is_noise
+
+    def test_noise_tag_detection(self):
+        instr = Instruction(gate="Z", qubits=(2,), tags={"noise"})
+        assert instr.is_noise
+
+
+class TestTransforms:
+    def test_inverse_of_self_inverse_gate(self):
+        instr = Instruction(gate="CSWAP", qubits=(0, 1, 2))
+        assert instr.inverse() == instr
+
+    def test_inverse_of_s_gate(self):
+        assert Instruction(gate="S", qubits=(0,)).inverse().gate == "SDG"
+        assert Instruction(gate="T", qubits=(0,)).inverse().gate == "TDG"
+
+    def test_remapped_translates_qubits(self):
+        instr = Instruction(gate="CCX", qubits=(0, 1, 2), tags={"classical"})
+        mapped = instr.remapped({0: 5, 1: 3, 2: 7})
+        assert mapped.qubits == (5, 3, 7)
+        assert mapped.tags == instr.tags
+
+    def test_with_tags_adds_labels(self):
+        instr = Instruction(gate="SWAP", qubits=(0, 1))
+        tagged = instr.with_tags("routing")
+        assert "routing" in tagged.tags
+        assert instr.tags == frozenset()
+
+    def test_controls_and_target_for_mcx(self):
+        instr = Instruction(gate="MCX", qubits=(0, 1, 2, 3))
+        controls, target = instr.controls_and_target()
+        assert controls == (0, 1, 2)
+        assert target == 3
+
+    def test_controls_and_target_rejects_swap(self):
+        with pytest.raises(ValueError):
+            Instruction(gate="SWAP", qubits=(0, 1)).controls_and_target()
+
+
+class TestBarrier:
+    def test_barrier_properties(self):
+        barrier = Instruction(gate="BARRIER", qubits=(0, 1, 2))
+        assert barrier.is_barrier
+        assert not barrier.is_noise
+
+    def test_barrier_allows_empty_qubits(self):
+        barrier = Instruction(gate="BARRIER", qubits=())
+        assert barrier.qubits == ()

@@ -1,0 +1,109 @@
+"""Tests for the OpenQASM 2.0 exporter."""
+
+import pytest
+
+from repro.circuit import Instruction, QuantumCircuit, to_qasm, write_qasm
+from repro.qram import ClassicalMemory, VirtualQRAM
+
+
+class TestBasicExport:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        qasm = to_qasm(circuit)
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in qasm
+        assert "qreg q[3];" in qasm
+        assert "x q[0];" in qasm
+
+    def test_all_direct_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.s(1)
+        circuit.t(2)
+        circuit.cx(0, 1)
+        circuit.cz(1, 2)
+        circuit.swap(2, 3)
+        circuit.ccx(0, 1, 2)
+        circuit.cswap(0, 2, 3)
+        qasm = to_qasm(circuit)
+        for fragment in (
+            "h q[0];",
+            "s q[1];",
+            "t q[2];",
+            "cx q[0], q[1];",
+            "cz q[1], q[2];",
+            "swap q[2], q[3];",
+            "ccx q[0], q[1], q[2];",
+            "cswap q[0], q[2], q[3];",
+        ):
+            assert fragment in qasm
+
+    def test_barriers_preserved(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.barrier()       # synchronises every qubit
+        circuit.barrier(0, 1)   # partial barrier
+        qasm = to_qasm(circuit)
+        assert "barrier q[0], q[1], q[2];" in qasm
+        assert "barrier q[0], q[1];" in qasm
+
+    def test_noise_skipped_by_default(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(Instruction(gate="Z", qubits=(0,), tags=frozenset({"noise"})))
+        assert "z q[0];" not in to_qasm(circuit)
+        assert "z q[0];" in to_qasm(circuit, include_noise=True)
+
+    def test_register_comments(self):
+        memory = ClassicalMemory.random(3, rng=0)
+        circuit = VirtualQRAM(memory=memory, qram_width=2).build_circuit()
+        qasm = to_qasm(circuit)
+        assert "// register sqc_address" in qasm
+        assert "// register leaf_data" in qasm
+
+    def test_custom_register_name(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        qasm = to_qasm(circuit, register_name="phys")
+        assert "qreg phys[1];" in qasm
+        assert "x phys[0];" in qasm
+
+
+class TestMcxExport:
+    def test_small_mcx_downgrades(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("MCX", 0, 1, 2)
+        qasm = to_qasm(circuit)
+        assert "ccx q[0], q[1], q[2];" in qasm
+        assert "qreg anc" not in qasm
+
+    def test_large_mcx_uses_ancilla_register(self):
+        circuit = QuantumCircuit(6)
+        circuit.mcx([0, 1, 2, 3], 4)
+        qasm = to_qasm(circuit)
+        assert "qreg anc[2];" in qasm
+        assert "ccx q[0], q[1], anc[0];" in qasm
+        # Compute + central + uncompute: 2*(c-2)+1 = 5 Toffolis.
+        assert qasm.count("ccx ") == 5
+
+    def test_qram_circuit_exports_cleanly(self):
+        memory = ClassicalMemory.random(4, rng=1)
+        circuit = VirtualQRAM(memory=memory, qram_width=2).build_circuit()
+        qasm = to_qasm(circuit)
+        # Every logical gate appears in the output (one line per gate at least,
+        # MCX gates may expand into several Toffolis).
+        body_lines = [
+            line
+            for line in qasm.splitlines()
+            if line and not line.startswith(("OPENQASM", "include", "qreg", "//"))
+        ]
+        assert len(body_lines) >= circuit.num_gates
+
+
+class TestWriteQasm:
+    def test_round_trip_to_disk(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = tmp_path / "circuit.qasm"
+        write_qasm(circuit, str(path))
+        assert path.read_text().startswith("OPENQASM 2.0;")

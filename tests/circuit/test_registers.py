@@ -1,0 +1,58 @@
+"""Unit tests for qubit registers and the allocator."""
+
+import pytest
+
+from repro.circuit import QubitAllocator, QubitRegister
+
+
+class TestQubitRegister:
+    def test_basic_properties(self):
+        reg = QubitRegister(name="address", qubits=(3, 4, 5))
+        assert len(reg) == 3
+        assert list(reg) == [3, 4, 5]
+        assert reg[1] == 4
+        assert 5 in reg
+        assert 9 not in reg
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister(name="bad", qubits=(1, 1))
+
+
+class TestQubitAllocator:
+    def test_contiguous_allocation(self):
+        alloc = QubitAllocator()
+        a = alloc.register("a", 3)
+        b = alloc.register("b", 2)
+        assert a.qubits == (0, 1, 2)
+        assert b.qubits == (3, 4)
+        assert alloc.num_qubits == 5
+
+    def test_zero_size_register_allowed(self):
+        alloc = QubitAllocator()
+        empty = alloc.register("empty", 0)
+        assert len(empty) == 0
+        assert alloc.num_qubits == 0
+
+    def test_duplicate_name_rejected(self):
+        alloc = QubitAllocator()
+        alloc.register("a", 1)
+        with pytest.raises(ValueError):
+            alloc.register("a", 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            QubitAllocator().register("a", -1)
+
+    def test_get_and_contains(self):
+        alloc = QubitAllocator()
+        alloc.register("bus", 1)
+        assert "bus" in alloc
+        assert alloc.get("bus").qubits == (0,)
+        assert "missing" not in alloc
+
+    def test_registers_property_preserves_order(self):
+        alloc = QubitAllocator()
+        alloc.register("first", 1)
+        alloc.register("second", 2)
+        assert list(alloc.registers) == ["first", "second"]

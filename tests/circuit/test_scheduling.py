@@ -1,0 +1,81 @@
+"""Unit and property tests for ASAP scheduling."""
+
+from hypothesis import given, settings
+
+from repro.circuit import Instruction, QuantumCircuit
+from repro.circuit.scheduling import asap_layers, circuit_depth, layer_widths
+from tests.conftest import random_reversible_circuits
+
+
+class TestAsapLayers:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert asap_layers(circuit) == []
+        assert circuit_depth(circuit) == 0
+
+    def test_layers_contain_disjoint_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.x(3)
+        layers = asap_layers(circuit)
+        for layer in layers:
+            seen: set[int] = set()
+            for instr in layer:
+                assert not (seen & set(instr.qubits))
+                seen.update(instr.qubits)
+
+    def test_noise_instructions_excluded_by_default(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.append(Instruction(gate="X", qubits=(0,), tags=frozenset({"noise"})))
+        assert circuit_depth(circuit) == 1
+        assert circuit_depth(circuit, include_noise=True) == 2
+
+    def test_partial_barrier_only_syncs_listed_qubits(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.barrier(0, 1)
+        circuit.x(1)  # must wait for the barrier
+        circuit.x(2)  # unaffected, can go in layer 0
+        layers = asap_layers(circuit)
+        assert len(layers) == 2
+        first_layer_qubits = {instr.qubits[0] for instr in layers[0]}
+        assert first_layer_qubits == {0, 2}
+
+    def test_layer_widths(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        circuit.cx(1, 2)
+        assert layer_widths(circuit) == [2, 1]
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_reversible_circuits(max_qubits=6, max_gates=20))
+    def test_depth_bounded_by_gate_count(self, circuit):
+        depth = circuit_depth(circuit)
+        assert 0 <= depth <= circuit.num_gates
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_reversible_circuits(max_qubits=6, max_gates=20))
+    def test_layers_partition_all_gates(self, circuit):
+        layers = asap_layers(circuit)
+        assert sum(len(layer) for layer in layers) == circuit.num_gates
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_reversible_circuits(max_qubits=6, max_gates=20))
+    def test_layers_respect_per_qubit_gate_order(self, circuit):
+        """Gates touching the same qubit appear in non-decreasing layer order."""
+        layer_of: dict[int, int] = {}
+        layers = asap_layers(circuit)
+        for layer_index, layer in enumerate(layers):
+            for instr in layer:
+                layer_of[id(instr)] = layer_index
+        last_layer_per_qubit: dict[int, int] = {}
+        for instr in circuit.gates:
+            layer_index = layer_of[id(instr)]
+            for qubit in instr.qubits:
+                assert last_layer_per_qubit.get(qubit, -1) < layer_index
+                last_layer_per_qubit[qubit] = layer_index

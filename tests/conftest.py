@@ -1,0 +1,90 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.qram import ClassicalMemory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_memory() -> ClassicalMemory:
+    """A fixed 8-cell memory used across QRAM tests."""
+    return ClassicalMemory.from_values([1, 0, 1, 1, 0, 0, 1, 0])
+
+
+@pytest.fixture
+def tiny_memory() -> ClassicalMemory:
+    """A fixed 4-cell memory."""
+    return ClassicalMemory.from_values([0, 1, 1, 0])
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+def random_reversible_circuits(
+    min_qubits: int = 2, max_qubits: int = 7, max_gates: int = 25
+) -> st.SearchStrategy[QuantumCircuit]:
+    """Strategy producing random circuits over the classical-reversible gate set.
+
+    These circuits are simulable by both the Feynman-path and statevector
+    simulators, which is exactly what the cross-validation property tests need.
+    """
+
+    @st.composite
+    def build(draw) -> QuantumCircuit:
+        num_qubits = draw(st.integers(min_qubits, max_qubits))
+        num_gates = draw(st.integers(0, max_gates))
+        circuit = QuantumCircuit(num_qubits)
+        for _ in range(num_gates):
+            gate = draw(
+                st.sampled_from(["X", "Z", "CX", "SWAP", "CCX", "CSWAP", "MCX"])
+            )
+            if gate in ("X", "Z"):
+                qubit = draw(st.integers(0, num_qubits - 1))
+                circuit.add(gate, qubit)
+                continue
+            arity = {"CX": 2, "SWAP": 2, "CCX": 3, "CSWAP": 3}.get(gate)
+            if gate == "MCX":
+                arity = draw(st.integers(2, min(4, num_qubits)))
+            if arity > num_qubits:
+                continue
+            qubits = draw(
+                st.lists(
+                    st.integers(0, num_qubits - 1),
+                    min_size=arity,
+                    max_size=arity,
+                    unique=True,
+                )
+            )
+            circuit.add(gate, *qubits)
+        return circuit
+
+    return build()
+
+
+def memory_strategy(max_width: int = 4) -> st.SearchStrategy[ClassicalMemory]:
+    """Strategy producing small random classical memories."""
+
+    @st.composite
+    def build(draw) -> ClassicalMemory:
+        width = draw(st.integers(1, max_width))
+        values = draw(
+            st.lists(
+                st.integers(0, 1), min_size=1 << width, max_size=1 << width
+            )
+        )
+        return ClassicalMemory.from_values(values)
+
+    return build()

@@ -1,0 +1,87 @@
+"""Tests for record export (CSV/Markdown) and the command-line entry point."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    collect_columns,
+    export_experiment,
+    records_to_csv,
+    records_to_markdown,
+)
+from repro.experiments.__main__ import build_parser, main
+
+
+RECORDS = [
+    {"m": 1, "fidelity": 0.991, "error": "Z"},
+    {"m": 2, "fidelity": 0.942, "error": "Z", "note": "extra column"},
+]
+
+
+class TestExport:
+    def test_collect_columns_order(self):
+        assert collect_columns(RECORDS) == ["m", "fidelity", "error", "note"]
+
+    def test_csv_round_trip(self, tmp_path):
+        path = records_to_csv(RECORDS, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["m"] == "1"
+        assert rows[0]["note"] == ""
+        assert rows[1]["note"] == "extra column"
+
+    def test_csv_custom_columns(self, tmp_path):
+        path = records_to_csv(RECORDS, tmp_path / "out.csv", columns=["m", "fidelity"])
+        header = path.read_text().splitlines()[0]
+        assert header == "m,fidelity"
+
+    def test_empty_records_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            records_to_csv([], tmp_path / "out.csv")
+        with pytest.raises(ValueError):
+            records_to_markdown([])
+
+    def test_markdown_table_shape(self):
+        table = records_to_markdown(RECORDS, columns=["m", "fidelity"])
+        lines = table.splitlines()
+        assert lines[0] == "| m | fidelity |"
+        assert lines[1] == "| --- | --- |"
+        assert len(lines) == 4
+
+    def test_export_experiment_writes_both(self, tmp_path):
+        paths = export_experiment(RECORDS, tmp_path / "results", "fig9")
+        assert paths["csv"].exists()
+        assert paths["markdown"].exists()
+        assert "| m |" in paths["markdown"].read_text()
+
+
+class TestCommandLine:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig12" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig9", "--quick"])
+        assert args.quick and args.shots is None
+
+    def test_table1_runs_and_exports(self, tmp_path, capsys):
+        assert main(["table1", "--m", "2", "--k", "1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 reproduction" in out
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "table1.md").exists()
+
+    def test_fig8_quick_runs(self, capsys):
+        assert main(["fig8", "--quick"]) == 0
+        assert "Figure 8 reproduction" in capsys.readouterr().out
+
+    def test_fig9_quick_with_small_shots(self, capsys):
+        assert main(["fig9", "--quick", "--shots", "8"]) == 0
+        assert "Figure 9 reproduction" in capsys.readouterr().out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-an-experiment"])

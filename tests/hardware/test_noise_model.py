@@ -1,0 +1,56 @@
+"""Tests for device-derived noise models and the error-reduction factor."""
+
+import pytest
+
+from repro.circuit import Instruction
+from repro.hardware import device_noise_model, ibm_perth_like
+from repro.qram import ClassicalMemory, VirtualQRAM
+
+
+class TestDeviceNoiseModel:
+    def test_two_qubit_gates_are_noisier(self):
+        model = device_noise_model(ibm_perth_like())
+        single = model.gate_error_channels(Instruction(gate="X", qubits=(0,)))
+        double = model.gate_error_channels(Instruction(gate="CX", qubits=(0, 1)))
+        assert single[0][1].p_total < double[0][1].p_total
+
+    def test_error_reduction_factor_scales_channels(self):
+        base = device_noise_model(ibm_perth_like(), error_reduction_factor=1)
+        improved = device_noise_model(ibm_perth_like(), error_reduction_factor=100)
+        base_channel = base.gate_error_channels(Instruction(gate="CX", qubits=(0, 1)))[0][1]
+        improved_channel = improved.gate_error_channels(
+            Instruction(gate="CX", qubits=(0, 1))
+        )[0][1]
+        assert improved_channel.p_total == pytest.approx(base_channel.p_total / 100)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            device_noise_model(ibm_perth_like(), error_reduction_factor=0)
+
+    def test_barriers_and_noise_skipped(self):
+        model = device_noise_model(ibm_perth_like())
+        assert model.gate_error_channels(Instruction(gate="BARRIER", qubits=(0,))) == []
+        noise_instr = Instruction(gate="X", qubits=(0,), tags=frozenset({"noise"}))
+        assert model.gate_error_channels(noise_instr) == []
+
+    def test_scaled_composes(self):
+        model = device_noise_model(ibm_perth_like(), error_reduction_factor=10)
+        rescaled = model.scaled(0.1)
+        channel = rescaled.gate_error_channels(Instruction(gate="X", qubits=(0,)))[0][1]
+        original = device_noise_model(ibm_perth_like(), error_reduction_factor=100)
+        expected = original.gate_error_channels(Instruction(gate="X", qubits=(0,)))[0][1]
+        assert channel.p_total == pytest.approx(expected.p_total)
+
+
+class TestFidelityImprovesWithBetterHardware:
+    def test_monotone_in_error_reduction_factor(self):
+        """The Appendix-A trend: better hardware, better query fidelity."""
+        memory = ClassicalMemory.random(2, rng=0)
+        architecture = VirtualQRAM(memory=memory, qram_width=1)
+        fidelities = []
+        for factor in (1, 10, 1000):
+            noise = device_noise_model(ibm_perth_like(), error_reduction_factor=factor)
+            result = architecture.run_query(noise, shots=200, rng=5)
+            fidelities.append(result.mean_fidelity)
+        assert fidelities[0] < fidelities[2]
+        assert fidelities[2] > 0.95

@@ -1,0 +1,83 @@
+"""Unit tests for the 2D grid hardware graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import Grid2D
+
+
+class TestGridBasics:
+    def test_dimensions_and_count(self):
+        grid = Grid2D(rows=3, cols=5)
+        assert grid.num_qubits == 15
+        assert len(grid.coordinates()) == 15
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid2D(rows=0, cols=3)
+
+    def test_contains(self):
+        grid = Grid2D(rows=2, cols=2)
+        assert grid.contains((1, 1))
+        assert not grid.contains((2, 0))
+        assert not grid.contains((0, -1))
+
+    def test_index_row_major(self):
+        grid = Grid2D(rows=3, cols=4)
+        assert grid.index((0, 0)) == 0
+        assert grid.index((1, 2)) == 6
+        with pytest.raises(ValueError):
+            grid.index((3, 0))
+
+    def test_neighbors_corner_and_interior(self):
+        grid = Grid2D(rows=3, cols=3)
+        assert sorted(grid.neighbors((0, 0))) == [(0, 1), (1, 0)]
+        assert len(grid.neighbors((1, 1))) == 4
+
+    def test_manhattan_distance(self):
+        assert Grid2D.manhattan_distance((0, 0), (2, 3)) == 5
+
+
+class TestPathsAndGraph:
+    def test_straight_path_horizontal(self):
+        grid = Grid2D(rows=1, cols=5)
+        assert grid.straight_path((0, 4), (0, 1)) == [(0, 4), (0, 3), (0, 2), (0, 1)]
+
+    def test_straight_path_vertical(self):
+        grid = Grid2D(rows=4, cols=1)
+        assert grid.straight_path((0, 0), (3, 0)) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_straight_path_single_point(self):
+        grid = Grid2D(rows=2, cols=2)
+        assert grid.straight_path((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_bent_path_rejected(self):
+        grid = Grid2D(rows=3, cols=3)
+        with pytest.raises(ValueError):
+            grid.straight_path((0, 0), (1, 1))
+
+    def test_off_grid_path_rejected(self):
+        grid = Grid2D(rows=2, cols=2)
+        with pytest.raises(ValueError):
+            grid.straight_path((0, 0), (0, 5))
+
+    def test_networkx_graph_structure(self):
+        grid = Grid2D(rows=2, cols=3)
+        graph = grid.to_networkx()
+        assert graph.number_of_nodes() == 6
+        # 2 rows x 2 horizontal edges + 3 vertical edges
+        assert graph.number_of_edges() == 7
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 35), st.integers(0, 35))
+    def test_path_length_matches_manhattan_distance(self, rows, cols, a, b):
+        grid = Grid2D(rows=rows, cols=cols)
+        coords = grid.coordinates()
+        start, end = coords[a % len(coords)], coords[b % len(coords)]
+        if start[0] != end[0] and start[1] != end[1]:
+            return
+        path = grid.straight_path(start, end)
+        assert len(path) - 1 == Grid2D.manhattan_distance(start, end)
+        for first, second in zip(path, path[1:]):
+            assert Grid2D.manhattan_distance(first, second) == 1

@@ -1,0 +1,112 @@
+"""Tests for the H-tree embedding (Sec. 4.2)."""
+
+import pytest
+
+from repro.mapping import HTreeEmbedding, QubitRole, verify_topological_minor
+from repro.qram import ClassicalMemory, VirtualQRAM
+
+
+class TestConstruction:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HTreeEmbedding(tree_depth=0)
+
+    def test_base_case_capacity_4_fits_3x3(self):
+        """The paper's base case (Fig. 6a): a capacity-4 QRAM in Grid(3,3)."""
+        embedding = HTreeEmbedding(tree_depth=2)
+        assert embedding.grid.rows == 3 and embedding.grid.cols == 3
+        counts = embedding.role_counts()
+        assert counts[QubitRole.QRAM] == 3    # root + two level-1 routers
+        assert counts[QubitRole.DATA] == 4    # four leaf data qubits
+
+    def test_capacity_16_fits_7x7(self):
+        """Fig. 6c: a capacity-16 QRAM occupies a 7x7 grid."""
+        embedding = HTreeEmbedding(tree_depth=4)
+        assert embedding.grid.rows == 7 and embedding.grid.cols == 7
+
+    def test_all_nodes_placed(self):
+        embedding = HTreeEmbedding(tree_depth=5)
+        assert len(embedding.node_positions) == 2 ** (5 + 1) - 1
+        assert len(embedding.edge_paths) == 2 ** (5 + 1) - 2
+
+    def test_grid_side_scales_as_sqrt_capacity(self):
+        small = HTreeEmbedding(tree_depth=4).grid.num_qubits
+        large = HTreeEmbedding(tree_depth=6).grid.num_qubits
+        # Quadrupling the capacity should roughly quadruple the grid area.
+        assert 3 <= large / small <= 6
+
+
+class TestTopologicalMinor:
+    @pytest.mark.parametrize("depth", range(1, 9))
+    def test_embedding_is_topological_minor(self, depth):
+        embedding = HTreeEmbedding(tree_depth=depth)
+        report = verify_topological_minor(embedding)
+        assert report.is_topological_minor, report.problems
+
+    def test_report_counts(self):
+        embedding = HTreeEmbedding(tree_depth=3)
+        report = verify_topological_minor(embedding)
+        assert report.num_nodes == 15
+        assert report.num_edges == 14
+        assert bool(report)
+
+
+class TestRoles:
+    def test_every_grid_vertex_gets_a_role(self):
+        embedding = HTreeEmbedding(tree_depth=4)
+        roles = embedding.roles()
+        assert len(roles) == embedding.grid.num_qubits
+
+    def test_unused_fraction_approaches_one_quarter(self):
+        """Sec. 7.2: unused qubits occupy about 25% of the grid."""
+        embedding = HTreeEmbedding(tree_depth=8)
+        assert 0.2 <= embedding.unused_fraction() <= 0.3
+
+    def test_data_nodes_equal_capacity(self):
+        embedding = HTreeEmbedding(tree_depth=5)
+        assert embedding.role_counts()[QubitRole.DATA] == 32
+
+    def test_summary_fields(self):
+        summary = HTreeEmbedding(tree_depth=3).routing_resource_summary()
+        assert summary["tree_depth"] == 3
+        assert summary["grid_qubits"] == summary["grid_rows"] * summary["grid_cols"]
+        assert (
+            summary["qram_nodes"]
+            + summary["data_nodes"]
+            + summary["routing_qubits"]
+            + summary["unused_qubits"]
+            == summary["grid_qubits"]
+        )
+
+
+class TestLogicalPlacement:
+    def test_every_logical_qubit_is_placed(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=3)
+        circuit = architecture.build_circuit()
+        embedding = HTreeEmbedding(tree_depth=3)
+        positions = embedding.logical_positions(circuit)
+        assert set(positions) == set(range(circuit.num_qubits))
+
+    def test_routers_and_wires_share_their_node_position(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        circuit = architecture.build_circuit()
+        embedding = HTreeEmbedding(tree_depth=2)
+        positions = embedding.logical_positions(circuit)
+        router = circuit.registers["router_L1"][0]
+        wire = circuit.registers["wire_L1"][0]
+        assert positions[router] == positions[wire]
+        assert positions[router] == embedding.node_position(1, 0)
+
+    def test_leaves_map_to_leaf_nodes(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        circuit = architecture.build_circuit()
+        embedding = HTreeEmbedding(tree_depth=2)
+        positions = embedding.logical_positions(circuit)
+        for index, qubit in enumerate(circuit.registers["leaf_data"]):
+            assert positions[qubit] == embedding.node_position(2, index)
+
+    def test_edge_distance_shrinks_down_the_tree(self):
+        embedding = HTreeEmbedding(tree_depth=6)
+        top = embedding.edge_distance((0, 0), (1, 0))
+        bottom = embedding.edge_distance((5, 0), (6, 0))
+        assert top > bottom

@@ -1,0 +1,69 @@
+"""Tests for the ASCII layout renderer."""
+
+import pytest
+
+from repro.mapping import HTreeEmbedding
+from repro.mapping.htree import QubitRole
+from repro.mapping.render import (
+    ROLE_GLYPHS,
+    layout_legend,
+    render_layout,
+    render_levels,
+    render_overhead_summary,
+)
+
+
+class TestRenderLayout:
+    def test_grid_shape(self):
+        embedding = HTreeEmbedding(tree_depth=3)
+        picture = render_layout(embedding, legend=False)
+        lines = picture.splitlines()
+        assert len(lines) == embedding.grid.rows
+        assert all(len(line.split(" ")) == embedding.grid.cols for line in lines)
+
+    def test_glyph_counts_match_roles(self):
+        embedding = HTreeEmbedding(tree_depth=4)
+        picture = render_layout(embedding, legend=False)
+        counts = embedding.role_counts()
+        assert picture.count("R") == counts[QubitRole.QRAM]
+        assert picture.count("D") == counts[QubitRole.DATA]
+        assert picture.count("+") == counts[QubitRole.ROUTING]
+
+    def test_base_case_matches_paper_figure(self):
+        """Capacity-4 base case: 3 routers, 4 data corners, on a 3x3 grid."""
+        picture = render_layout(HTreeEmbedding(tree_depth=2), legend=False)
+        assert picture.count("R") == 3
+        assert picture.count("D") == 4
+
+    def test_legend_included_by_default(self):
+        picture = render_layout(HTreeEmbedding(tree_depth=2))
+        assert layout_legend() in picture
+
+    def test_all_glyphs_defined(self):
+        assert set(ROLE_GLYPHS) == set(QubitRole)
+
+
+class TestRenderLevels:
+    def test_root_is_level_zero_at_center(self):
+        embedding = HTreeEmbedding(tree_depth=2)
+        lines = render_levels(embedding).splitlines()
+        root_row, root_col = embedding.node_position(0, 0)
+        assert lines[root_row].split(" ")[root_col] == "0"
+
+    def test_leaf_level_appears_capacity_times(self):
+        embedding = HTreeEmbedding(tree_depth=3)
+        picture = render_levels(embedding)
+        assert picture.count("3") == 8
+
+    def test_deep_levels_use_letters(self):
+        embedding = HTreeEmbedding(tree_depth=10)
+        picture = render_levels(embedding)
+        assert "a" in picture  # level 10
+
+
+class TestOverheadSummary:
+    def test_summary_mentions_capacity_and_grid(self):
+        summary = render_overhead_summary(HTreeEmbedding(tree_depth=4))
+        assert "capacity 16" in summary
+        assert "7x7" in summary
+        assert "%" in summary

@@ -1,0 +1,113 @@
+"""Tests for the routing cost models and the mapped-circuit overhead accounting."""
+
+import pytest
+
+from repro.mapping import (
+    HTreeEmbedding,
+    MappedQRAM,
+    SwapRouting,
+    TeleportationRouting,
+)
+from repro.qram import ClassicalMemory, VirtualQRAM
+
+
+class TestRoutingCostModels:
+    def test_adjacent_gates_are_free(self):
+        for scheme in (SwapRouting(), TeleportationRouting()):
+            assert scheme.cost(1).extra_depth == 0
+            assert scheme.cost(0).extra_operations == 0
+
+    def test_swap_cost_linear_in_distance(self):
+        scheme = SwapRouting()
+        assert scheme.cost(2).extra_depth == 2
+        assert scheme.cost(5).extra_depth == 8
+        assert scheme.cost(5).extra_operations == 8
+
+    def test_swap_one_way_option(self):
+        assert SwapRouting(round_trip=False).cost(5).extra_operations == 4
+
+    def test_swap_depth_multiplier(self):
+        assert SwapRouting(swap_depth=3).cost(3).extra_depth == 12
+
+    def test_teleportation_depth_constant(self):
+        scheme = TeleportationRouting()
+        assert scheme.cost(2).extra_depth == scheme.cost(50).extra_depth
+
+    def test_teleportation_operations_grow_with_distance(self):
+        scheme = TeleportationRouting()
+        assert scheme.cost(10).extra_operations > scheme.cost(3).extra_operations
+
+
+class TestMappedQRAM:
+    def _mapped(self, m: int) -> MappedQRAM:
+        memory = ClassicalMemory.random(m, rng=m)
+        architecture = VirtualQRAM(memory=memory, qram_width=m)
+        return MappedQRAM(architecture.build_circuit(), HTreeEmbedding(tree_depth=m))
+
+    def test_gate_distance_uses_worst_pair(self):
+        mapped = self._mapped(3)
+        circuit = mapped.circuit
+        leaf = circuit.registers["leaf_data"][0]
+        root = circuit.registers["wire_L0"][0]
+        distance = mapped.gate_distance((leaf, root))
+        assert distance >= 2
+
+    def test_overhead_fields(self):
+        mapped = self._mapped(3)
+        overhead = mapped.overhead(SwapRouting())
+        data = overhead.as_dict()
+        assert data["scheme"] == "swap"
+        assert data["total_depth"] == data["logical_depth"] + data["extra_depth"]
+        assert data["remote_gates"] >= 0
+
+    def test_small_trees_have_no_overhead(self):
+        """Capacity-2 and capacity-4 QRAMs are fully nearest-neighbour."""
+        for m in (1, 2):
+            mapped = self._mapped(m)
+            assert mapped.overhead(SwapRouting()).extra_depth == 0
+
+    def test_teleportation_beats_swap_for_large_trees(self):
+        """Figure 8's headline: teleportation wins and the gap widens with m."""
+        gaps = []
+        for m in (5, 6, 7):
+            mapped = self._mapped(m)
+            swap = mapped.overhead(SwapRouting()).extra_depth
+            teleport = mapped.overhead(TeleportationRouting()).extra_depth
+            assert teleport < swap
+            gaps.append(swap - teleport)
+        assert gaps == sorted(gaps)
+
+    def test_swap_overhead_grows_superlinearly(self):
+        depths = {}
+        for m in (4, 6, 8):
+            depths[m] = self._mapped(m).overhead(SwapRouting()).extra_depth
+        assert depths[8] > 2 * depths[6] > 4 * depths[4] / 2
+
+    def test_teleport_overhead_stays_proportional_to_logical_depth(self):
+        """Teleportation keeps the mapped depth within a constant factor of the
+        logical depth (the paper's 'query latency unchanged' claim)."""
+        for m in (4, 6, 8):
+            mapped = self._mapped(m)
+            overhead = mapped.overhead(TeleportationRouting())
+            assert overhead.extra_depth <= 3 * overhead.logical_depth
+
+    def test_compare_schemes(self):
+        mapped = self._mapped(4)
+        results = mapped.compare_schemes([SwapRouting(), TeleportationRouting()])
+        assert [r.scheme for r in results] == ["swap", "teleportation"]
+
+    def test_unplaced_qubit_rejected(self):
+        memory = ClassicalMemory.random(3, rng=1)
+        architecture = VirtualQRAM(memory=memory, qram_width=3)
+        circuit = architecture.build_circuit()
+        embedding = HTreeEmbedding(tree_depth=3)
+
+        class BrokenEmbedding(HTreeEmbedding):
+            def logical_positions(self, circuit):
+                positions = super().logical_positions(circuit)
+                positions.pop(0)
+                return positions
+
+        broken = BrokenEmbedding(tree_depth=3)
+        with pytest.raises(ValueError):
+            MappedQRAM(circuit, broken)

@@ -1,0 +1,94 @@
+"""Tests for the QRAMArchitecture base-class behaviour shared by every design."""
+
+import numpy as np
+import pytest
+
+from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.sim import GateNoiseModel, PauliChannel
+
+
+class TestParameters:
+    def test_m_k_n_relationship(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        assert architecture.n == 3
+        assert architecture.m == 2
+        assert architecture.k == 1
+        assert architecture.num_pages == 2
+        assert architecture.capacity == 4
+
+    def test_qram_width_bounds_checked(self, small_memory):
+        with pytest.raises(ValueError):
+            VirtualQRAM(memory=small_memory, qram_width=4)
+
+    def test_bit_plane_bounds_checked(self, small_memory):
+        with pytest.raises(ValueError):
+            VirtualQRAM(memory=small_memory, qram_width=2, bit_plane=1)
+
+
+class TestRegistersAndStates:
+    def test_address_register_order(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        circuit = architecture.build_circuit()
+        expected = list(circuit.registers["sqc_address"]) + list(
+            circuit.registers["qram_address"]
+        )
+        assert architecture.address_qubits() == expected
+        assert architecture.kept_qubits() == expected + [architecture.bus_qubit()]
+
+    def test_input_state_uniform_by_default(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        state = architecture.input_state()
+        assert state.num_paths == small_memory.size
+        assert np.isclose(state.norm(), 1.0)
+
+    def test_input_state_custom_amplitudes(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        state = architecture.input_state({3: 0.6, 5: 0.8})
+        assert state.num_paths == 2
+        values = sorted(state.register_values(architecture.address_qubits()).tolist())
+        assert values == [3, 5]
+
+    def test_ideal_output_entangles_bus_with_memory(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        ideal = architecture.ideal_output()
+        addresses = ideal.register_values(architecture.address_qubits())
+        bus = ideal.bits[:, architecture.bus_qubit()]
+        for address, bus_bit in zip(addresses, bus):
+            assert int(bus_bit) == small_memory[int(address)]
+
+    def test_build_circuit_is_cached(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        assert architecture.build_circuit() is architecture.build_circuit()
+
+
+class TestQueryRunner:
+    def test_noiseless_run_query_gives_unit_fidelity(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        result = architecture.run_query(noise=None, shots=4, rng=0)
+        assert result.mean_fidelity == pytest.approx(1.0)
+
+    def test_reduced_fidelity_at_least_full_fidelity(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=3)
+        noise = GateNoiseModel(PauliChannel.bit_flip(5e-3))
+        reduced = architecture.run_query(noise, shots=128, rng=1, reduced=True)
+        full = architecture.run_query(noise, shots=128, rng=1, reduced=False)
+        assert reduced.mean_fidelity >= full.mean_fidelity - 1e-9
+
+    def test_run_query_accepts_integer_seed(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        noise = GateNoiseModel(PauliChannel.phase_flip(1e-2))
+        first = architecture.run_query(noise, shots=32, rng=7)
+        second = architecture.run_query(noise, shots=32, rng=7)
+        assert first.mean_fidelity == pytest.approx(second.mean_fidelity)
+
+
+class TestResourceReport:
+    def test_report_fields(self, small_memory):
+        architecture = VirtualQRAM(memory=small_memory, qram_width=2)
+        report = architecture.resource_report()
+        data = report.as_dict()
+        assert data["qubits"] == architecture.build_circuit().num_qubits
+        assert data["gate_count"] == architecture.build_circuit().num_gates
+        assert data["circuit_depth"] >= data["circuit_depth_pipelined"]
+        assert data["t_count"] > 0
+        assert data["classical_controlled_gates"] > 0

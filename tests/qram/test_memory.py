@@ -1,0 +1,122 @@
+"""Unit and property tests for ClassicalMemory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qram import ClassicalMemory
+from tests.conftest import memory_strategy
+
+
+class TestConstruction:
+    def test_from_values(self):
+        memory = ClassicalMemory.from_values([1, 0, 1, 1])
+        assert memory.address_width == 2
+        assert memory.size == 4
+        assert memory[0] == 1
+        assert memory[1] == 0
+
+    def test_from_values_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ClassicalMemory.from_values([1, 0, 1])
+
+    def test_from_function(self):
+        memory = ClassicalMemory.from_function(lambda i: i % 2, address_width=3)
+        assert memory.values == (0, 1, 0, 1, 0, 1, 0, 1)
+
+    def test_values_must_fit_data_width(self):
+        with pytest.raises(ValueError):
+            ClassicalMemory.from_values([0, 2])
+        ClassicalMemory.from_values([0, 2], data_width=2)
+
+    def test_random_memory_is_reproducible(self):
+        a = ClassicalMemory.random(4, rng=42)
+        b = ClassicalMemory.random(4, rng=42)
+        assert a.values == b.values
+
+    def test_random_memory_respects_density(self):
+        dense = ClassicalMemory.random(10, rng=0, p_one=0.9)
+        sparse = ClassicalMemory.random(10, rng=0, p_one=0.1)
+        assert dense.ones_count() > sparse.ones_count()
+
+    def test_zeros(self):
+        assert ClassicalMemory.zeros(3).ones_count() == 0
+
+    def test_multibit_random(self):
+        memory = ClassicalMemory.random(3, rng=1, data_width=4)
+        assert all(0 <= value < 16 for value in memory.values)
+
+
+class TestBitPlanes:
+    def test_bit_extraction_msb_first(self):
+        memory = ClassicalMemory.from_values([0b10, 0b01], data_width=2)
+        assert memory.bit(0, plane=0) == 1
+        assert memory.bit(0, plane=1) == 0
+        assert memory.bit(1, plane=0) == 0
+        assert memory.bit(1, plane=1) == 1
+
+    def test_bit_plane_slice(self):
+        memory = ClassicalMemory.from_values([0b10, 0b01, 0b11, 0b00], data_width=2)
+        assert memory.bit_plane(0) == (1, 0, 1, 0)
+        assert memory.bit_plane(1) == (0, 1, 1, 0)
+
+    def test_invalid_plane_rejected(self):
+        memory = ClassicalMemory.from_values([1, 0])
+        with pytest.raises(ValueError):
+            memory.bit(0, plane=1)
+
+
+class TestPaging:
+    def test_page_extraction(self):
+        memory = ClassicalMemory.from_values([1, 0, 1, 1, 0, 0, 1, 0])
+        assert memory.num_pages(qram_width=2) == 2
+        assert memory.page(0, qram_width=2) == (1, 0, 1, 1)
+        assert memory.page(1, qram_width=2) == (0, 0, 1, 0)
+
+    def test_page_bounds_checked(self):
+        memory = ClassicalMemory.from_values([1, 0, 1, 1])
+        with pytest.raises(ValueError):
+            memory.page(2, qram_width=1)
+        with pytest.raises(ValueError):
+            memory.num_pages(qram_width=3)
+
+    def test_page_difference(self):
+        memory = ClassicalMemory.from_values([1, 0, 1, 1, 0, 0, 1, 0])
+        assert memory.page_difference(0, qram_width=2) == (1, 0, 0, 1)
+
+    def test_split_address(self):
+        memory = ClassicalMemory.from_values([0] * 16)
+        assert memory.split_address(13, qram_width=2) == (3, 1)
+        with pytest.raises(ValueError):
+            memory.split_address(16, qram_width=2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(memory_strategy(max_width=4), st.integers(0, 3))
+    def test_pages_reassemble_to_memory(self, memory, qram_width):
+        """Property: concatenating all pages recovers the full bit plane."""
+        qram_width = min(qram_width, memory.address_width)
+        reassembled: list[int] = []
+        for page_index in range(memory.num_pages(qram_width)):
+            reassembled.extend(memory.page(page_index, qram_width))
+        assert tuple(reassembled) == memory.bit_plane(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(memory_strategy(max_width=4))
+    def test_page_difference_is_xor(self, memory):
+        qram_width = max(memory.address_width - 1, 0)
+        if memory.num_pages(qram_width) < 2:
+            return
+        first = memory.page(0, qram_width)
+        second = memory.page(1, qram_width)
+        difference = memory.page_difference(0, qram_width)
+        assert difference == tuple(a ^ b for a, b in zip(first, second))
+
+    @settings(max_examples=30, deadline=None)
+    @given(memory_strategy(max_width=4))
+    def test_split_address_round_trip(self, memory):
+        qram_width = max(memory.address_width - 1, 0)
+        for address in range(memory.size):
+            page, offset = memory.split_address(address, qram_width)
+            assert page * (1 << qram_width) + offset == address
+            assert memory.page(page, qram_width)[offset] == memory.bit(address)

@@ -1,0 +1,108 @@
+"""Tests for the wide-word virtual QRAM (multi-bit cells, Sec. 8 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import circuit_cost
+from repro.qram import (
+    ClassicalMemory,
+    MultiBitQuery,
+    VirtualQRAMOptions,
+    WideWordVirtualQRAM,
+)
+
+
+@pytest.fixture
+def word_memory() -> ClassicalMemory:
+    """8 cells of 3-bit words."""
+    return ClassicalMemory.from_values([5, 0, 7, 2, 3, 6, 1, 4], data_width=3)
+
+
+class TestCorrectness:
+    def test_query_matches_ideal_output(self, word_memory):
+        qram = WideWordVirtualQRAM(memory=word_memory, qram_width=2)
+        assert qram.verify()
+
+    def test_read_word_returns_stored_values(self, word_memory):
+        qram = WideWordVirtualQRAM(memory=word_memory, qram_width=2)
+        for address in range(word_memory.size):
+            assert qram.read_word(address) == word_memory[address]
+
+    def test_full_width_tree(self, word_memory):
+        qram = WideWordVirtualQRAM(memory=word_memory, qram_width=3)
+        assert qram.k == 0
+        assert qram.verify()
+
+    def test_single_bit_memory_reduces_to_plain_virtual(self):
+        memory = ClassicalMemory.random(3, rng=4)
+        qram = WideWordVirtualQRAM(memory=memory, qram_width=2)
+        assert qram.data_width == 1
+        assert len(qram.bus_qubits()) == 1
+        assert qram.verify()
+
+    def test_lazy_and_eager_agree(self, word_memory):
+        eager = WideWordVirtualQRAM(
+            memory=word_memory, qram_width=2,
+            options=VirtualQRAMOptions(lazy_data_swapping=False),
+        )
+        lazy = WideWordVirtualQRAM(memory=word_memory, qram_width=2)
+        assert eager.verify()
+        assert lazy.verify()
+        assert (
+            lazy.build_circuit().count_tagged("classical")
+            < eager.build_circuit().count_tagged("classical")
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(0, 10**6))
+    def test_property_random_word_memories(self, address_width, data_width, seed):
+        memory = ClassicalMemory.random(address_width, rng=seed, data_width=data_width)
+        qram_width = max(1, address_width - 1)
+        qram = WideWordVirtualQRAM(memory=memory, qram_width=qram_width)
+        assert qram.verify()
+
+    def test_dual_rail_rejected(self, word_memory):
+        with pytest.raises(ValueError):
+            WideWordVirtualQRAM(
+                memory=word_memory,
+                qram_width=2,
+                options=VirtualQRAMOptions(dual_rail=True),
+            )
+
+    def test_rejects_zero_qram_width(self, word_memory):
+        with pytest.raises(ValueError):
+            WideWordVirtualQRAM(memory=word_memory, qram_width=0)
+
+
+class TestStructure:
+    def test_bus_register_width(self, word_memory):
+        qram = WideWordVirtualQRAM(memory=word_memory, qram_width=2)
+        circuit = qram.build_circuit()
+        assert len(circuit.registers["bus"]) == 3
+        assert qram.kept_qubits()[-3:] == qram.bus_qubits()
+
+    def test_load_once_across_planes(self, word_memory):
+        """Address loading is shared by all bit planes: the CSWAP count of the
+        wide query equals that of a single-bit query on the same tree."""
+        wide = WideWordVirtualQRAM(memory=word_memory, qram_width=2)
+        single = WideWordVirtualQRAM(
+            memory=ClassicalMemory.random(3, rng=0), qram_width=2
+        )
+        assert (
+            wide.build_circuit().count_ops()["CSWAP"]
+            == single.build_circuit().count_ops()["CSWAP"]
+        )
+
+    def test_t_cost_beats_per_plane_queries(self, word_memory):
+        """The wide-word query saves the repeated address loading that
+        MultiBitQuery (one full query per plane) pays."""
+        wide_cost = circuit_cost(
+            WideWordVirtualQRAM(memory=word_memory, qram_width=2).build_circuit()
+        )
+        per_plane = MultiBitQuery(memory=word_memory, qram_width=2).total_resources()
+        assert wide_cost.t_count < per_plane["t_count"]
+
+    def test_metadata_records_data_width(self, word_memory):
+        circuit = WideWordVirtualQRAM(memory=word_memory, qram_width=2).build_circuit()
+        assert circuit.metadata["data_width"] == 3

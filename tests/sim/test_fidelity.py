@@ -1,0 +1,87 @@
+"""Unit tests for the fidelity metrics (full-state and reduced)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import PathState, reduced_fidelity, state_fidelity
+from repro.sim.fidelity import shot_fidelities
+
+
+def _state(assignments, num_qubits):
+    return PathState.from_basis_assignments(assignments, num_qubits)
+
+
+class TestStateFidelity:
+    def test_identical_states(self):
+        state = PathState.register_superposition(3, register=[0, 1])
+        assert state_fidelity(state, state) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = _state([({0: 0}, 1.0)], 2)
+        b = _state([({0: 1}, 1.0)], 2)
+        assert state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_global_phase_is_irrelevant(self):
+        a = PathState.register_superposition(2, register=[0, 1])
+        b = PathState(bits=a.bits.copy(), amplitudes=-a.amplitudes.copy())
+        assert state_fidelity(a, b) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        a = PathState.register_superposition(1, register=[0])
+        b = _state([({0: 0}, 1.0)], 1)
+        assert state_fidelity(a, b) == pytest.approx(0.5)
+
+
+class TestReducedFidelity:
+    def test_error_confined_to_traced_register_is_harmless(self):
+        """A leftover flip on an ancilla does not hurt the kept registers."""
+        ideal = _state([({0: 0}, 1.0)], 2)
+        noisy = _state([({0: 0, 1: 1}, 1.0)], 2)
+        assert state_fidelity(ideal, noisy) == pytest.approx(0.0)
+        assert reduced_fidelity(ideal, noisy, keep_qubits=[0]) == pytest.approx(1.0)
+
+    def test_branch_dependent_junk_causes_decoherence(self):
+        """If the ancilla ends in different states per branch, coherence is lost."""
+        amp = 1 / np.sqrt(2)
+        ideal = _state([({0: 0}, amp), ({0: 1}, amp)], 2)
+        noisy = _state([({0: 0, 1: 0}, amp), ({0: 1, 1: 1}, amp)], 2)
+        assert reduced_fidelity(ideal, noisy, keep_qubits=[0]) == pytest.approx(0.5)
+
+    def test_phase_error_on_one_branch(self):
+        amp = 1 / np.sqrt(2)
+        ideal = _state([({0: 0}, amp), ({0: 1}, amp)], 1)
+        noisy = _state([({0: 0}, amp), ({0: 1}, -amp)], 1)
+        assert reduced_fidelity(ideal, noisy, keep_qubits=[0]) == pytest.approx(0.0)
+
+    def test_entangled_ideal_output_rejected(self):
+        amp = 1 / np.sqrt(2)
+        entangled = _state([({0: 0, 1: 0}, amp), ({0: 1, 1: 1}, amp)], 2)
+        noisy = _state([({0: 0}, 1.0)], 2)
+        with pytest.raises(ValueError):
+            reduced_fidelity(entangled, noisy, keep_qubits=[0])
+
+    def test_keeping_everything_matches_full_fidelity(self):
+        ideal = PathState.register_superposition(2, register=[0, 1])
+        noisy = _state([({0: 0, 1: 0}, 1.0)], 2)
+        reduced = reduced_fidelity(ideal, noisy, keep_qubits=[0, 1])
+        assert reduced == pytest.approx(state_fidelity(ideal, noisy))
+
+
+class TestShotFidelities:
+    def test_block_of_identical_shots(self):
+        ideal = PathState.register_superposition(2, register=[0])
+        bits = np.tile(ideal.bits, (3, 1))
+        amps = np.tile(ideal.amplitudes, 3)
+        values = shot_fidelities(
+            ideal, bits, amps, shots=3, n_paths=ideal.num_paths, keep_qubits=None
+        )
+        assert np.allclose(values, 1.0)
+
+    def test_mixed_block(self):
+        ideal = _state([({0: 0}, 1.0)], 1)
+        good = ideal.bits
+        bad = ~ideal.bits
+        bits = np.vstack([good, bad])
+        amps = np.array([1.0, 1.0], dtype=complex)
+        values = shot_fidelities(ideal, bits, amps, shots=2, n_paths=1)
+        assert values.tolist() == [1.0, 0.0]

@@ -1,0 +1,111 @@
+"""Unit and property tests for the PathState representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PathState
+from repro.sim.paths import bits_to_int, int_to_bits
+
+
+class TestBitConversions:
+    def test_int_to_bits_msb_first(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+        assert int_to_bits(0, 3) == (0, 0, 0)
+
+    def test_int_to_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_bits_to_int(self):
+        assert bits_to_int((1, 0, 1)) == 5
+        assert bits_to_int(()) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 1023), st.integers(10, 16))
+    def test_round_trip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+
+class TestConstruction:
+    def test_from_basis_assignments(self):
+        state = PathState.from_basis_assignments(
+            [({0: 1, 2: 1}, 0.5), ({1: 1}, 0.5)], num_qubits=3
+        )
+        assert state.num_paths == 2
+        assert state.num_qubits == 3
+        assert state.bits[0].tolist() == [True, False, True]
+
+    def test_from_basis_assignments_requires_paths(self):
+        with pytest.raises(ValueError):
+            PathState.from_basis_assignments([], num_qubits=2)
+
+    def test_register_superposition_uniform(self):
+        state = PathState.register_superposition(4, register=[1, 2])
+        assert state.num_paths == 4
+        assert np.allclose(np.abs(state.amplitudes), 0.5)
+        assert np.isclose(state.norm(), 1.0)
+        values = sorted(state.register_values([1, 2]).tolist())
+        assert values == [0, 1, 2, 3]
+
+    def test_register_superposition_custom_amplitudes(self):
+        state = PathState.register_superposition(
+            3, register=[0, 1], amplitudes={2: 1.0}
+        )
+        assert state.num_paths == 1
+        # value 2 = bits (1, 0) on (q0, q1), q0 is the MSB
+        assert state.bits[0].tolist() == [True, False, False]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PathState(bits=np.zeros((2, 3), dtype=bool), amplitudes=np.ones(3))
+        with pytest.raises(ValueError):
+            PathState(bits=np.zeros(3, dtype=bool), amplitudes=np.ones(3))
+
+
+class TestInspection:
+    def test_register_values_msb_first(self):
+        state = PathState.from_basis_assignments(
+            [({0: 1, 1: 0, 2: 1}, 1.0)], num_qubits=3
+        )
+        assert state.register_values([0, 1, 2]).tolist() == [5]
+        assert state.register_values([2, 1, 0]).tolist() == [5]
+        assert state.register_values([1]).tolist() == [0]
+
+    def test_as_dict_merges_duplicate_paths(self):
+        bits = np.array([[True, False], [True, False]])
+        amps = np.array([0.5, 0.25])
+        state = PathState(bits=bits, amplitudes=amps)
+        collapsed = state.as_dict()
+        assert collapsed == {(1, 0): pytest.approx(0.75)}
+
+    def test_as_dict_drops_cancelled_paths(self):
+        bits = np.array([[True], [True]])
+        amps = np.array([0.5, -0.5])
+        state = PathState(bits=bits, amplitudes=amps)
+        assert state.as_dict() == {}
+
+    def test_to_statevector_little_endian(self):
+        state = PathState.from_basis_assignments([({1: 1}, 1.0)], num_qubits=2)
+        vector = state.to_statevector()
+        assert np.allclose(vector, [0, 0, 1, 0])  # index 2 = qubit 1 set
+
+    def test_to_statevector_size_guard(self):
+        state = PathState(bits=np.zeros((1, 30), dtype=bool), amplitudes=np.ones(1))
+        with pytest.raises(ValueError):
+            state.to_statevector()
+
+    def test_overlap(self):
+        a = PathState.register_superposition(2, register=[0, 1])
+        b = PathState.from_basis_assignments([({0: 0, 1: 0}, 1.0)], num_qubits=2)
+        assert np.isclose(a.overlap(b), 0.5)
+        assert np.isclose(abs(a.overlap(a)), 1.0)
+
+    def test_copy_is_independent(self):
+        state = PathState.register_superposition(3, register=[0])
+        clone = state.copy()
+        clone.bits[0, 0] = ~clone.bits[0, 0]
+        assert not np.array_equal(clone.bits, state.bits)

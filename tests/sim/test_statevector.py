@@ -1,0 +1,109 @@
+"""Unit tests for the dense statevector reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.sim import PathState, StatevectorSimulator
+
+
+@pytest.fixture
+def simulator() -> StatevectorSimulator:
+    return StatevectorSimulator()
+
+
+class TestBasicGates:
+    def test_default_initial_state(self, simulator):
+        circuit = QuantumCircuit(2)
+        vector = simulator.run(circuit)
+        assert np.allclose(vector, [1, 0, 0, 0])
+
+    def test_hadamard_superposition(self, simulator):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        vector = simulator.run(circuit)
+        assert np.allclose(vector, [1 / np.sqrt(2), 1 / np.sqrt(2)])
+
+    def test_bell_state(self, simulator):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        vector = simulator.run(circuit)
+        expected = np.zeros(4)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(vector, expected)
+
+    def test_ghz_state(self, simulator):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        vector = simulator.run(circuit)
+        assert np.isclose(abs(vector[0]) ** 2, 0.5)
+        assert np.isclose(abs(vector[7]) ** 2, 0.5)
+
+    def test_cz_applies_phase(self, simulator):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cz(0, 1)
+        vector = simulator.run(circuit)
+        assert np.isclose(vector[3], -0.5)
+
+    def test_swap_permutes_amplitudes(self, simulator):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.swap(0, 1)
+        vector = simulator.run(circuit)
+        assert np.allclose(vector, [0, 0, 1, 0])
+
+    def test_toffoli_and_mcx(self, simulator):
+        circuit = QuantumCircuit(4)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.x(2)
+        circuit.mcx([0, 1, 2], 3)
+        vector = simulator.run(circuit)
+        assert np.isclose(abs(vector[0b1111]) ** 2, 1.0)
+
+
+class TestInterfaces:
+    def test_accepts_path_state_input(self, simulator):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        state = PathState.register_superposition(2, register=[0])
+        vector = simulator.run(circuit, state)
+        assert np.isclose(abs(vector[0]) ** 2, 0.5)
+        assert np.isclose(abs(vector[3]) ** 2, 0.5)
+
+    def test_accepts_dense_vector_input(self, simulator):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        vector = simulator.run(circuit, np.array([0.0, 1.0], dtype=complex))
+        assert np.allclose(vector, [1, 0])
+
+    def test_run_to_path_state_round_trip(self, simulator):
+        circuit = QuantumCircuit(3)
+        circuit.x(1)
+        circuit.ccx(1, 2, 0)
+        state = simulator.run_to_path_state(circuit)
+        assert state.num_paths == 1
+        assert state.bits[0].tolist() == [False, True, False]
+
+    def test_qubit_limit_enforced(self):
+        simulator = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(4))
+
+    def test_wrong_vector_length_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(2), np.ones(3, dtype=complex))
+
+    def test_norm_is_preserved(self, simulator):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cswap(0, 1, 2)
+        circuit.t(3)
+        circuit.ccx(0, 1, 3)
+        vector = simulator.run(circuit)
+        assert np.isclose(np.linalg.norm(vector), 1.0)
