@@ -22,6 +22,9 @@ Pauli error insertions, so the model is intentionally lean:
   ``CSWAP`` used to cross-validate the accounting in tests.
 * :mod:`~repro.circuit.scheduling` -- ASAP layering used both for logical
   depth and for the pipelining analysis of Sec. 3.2.3.
+* :mod:`~repro.circuit.ir` -- the compiled :class:`~repro.circuit.ir.GateTape`
+  intermediate representation (packed opcodes, fused gate runs, noise-site
+  table) executed by the engines in :mod:`repro.sim.engine`.
 """
 
 from repro.circuit.circuit import QuantumCircuit
@@ -43,6 +46,7 @@ from repro.circuit.gates import (
     is_clifford,
 )
 from repro.circuit.instruction import Instruction
+from repro.circuit.ir import GateTape, NoiseSiteTable, TapeGroup, compile_circuit
 from repro.circuit.qasm import to_qasm, write_qasm
 from repro.circuit.registers import QubitAllocator, QubitRegister
 from repro.circuit.scheduling import asap_layers, circuit_depth
@@ -52,14 +56,18 @@ __all__ = [
     "CLIFFORD_GATES",
     "CliffordTCost",
     "GateSpec",
+    "GateTape",
     "Instruction",
+    "NoiseSiteTable",
     "QuantumCircuit",
     "QubitAllocator",
     "QubitRegister",
     "REVERSIBLE_CLASSICAL_GATES",
+    "TapeGroup",
     "asap_layers",
     "circuit_cost",
     "circuit_depth",
+    "compile_circuit",
     "decompose_ccx",
     "decompose_cswap",
     "decompose_mcx",

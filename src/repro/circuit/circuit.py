@@ -37,6 +37,9 @@ class QuantumCircuit:
     instructions: list[Instruction] = field(default_factory=list)
     registers: dict[str, QubitRegister] = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
+    #: Compiled gate tape (see :mod:`repro.circuit.ir`), populated lazily by
+    #: :func:`repro.circuit.ir.compile_circuit` and dropped on mutation.
+    _tape: object | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_qubits < 0:
@@ -53,9 +56,10 @@ class QuantumCircuit:
             )
 
     def append(self, instr: Instruction) -> None:
-        """Append a prepared :class:`Instruction`."""
+        """Append a prepared :class:`Instruction` (invalidates the compiled tape)."""
         self._check_bounds(instr)
         self.instructions.append(instr)
+        self._tape = None
 
     def extend(self, instrs: Iterable[Instruction]) -> None:
         """Append each instruction in ``instrs`` in order."""
@@ -147,7 +151,7 @@ class QuantumCircuit:
         """
         controls = tuple(controls)
         width = len(controls)
-        if pattern < 0 or pattern >= (1 << max(width, 1)) and width > 0:
+        if pattern < 0 or pattern >= (1 << width):
             raise ValueError(f"pattern {pattern} does not fit in {width} controls")
         zero_controls = [
             q

@@ -1,0 +1,326 @@
+"""Compiled gate-tape intermediate representation.
+
+Interpreting a :class:`~repro.circuit.circuit.QuantumCircuit` instruction by
+instruction costs a Python-level string dispatch, attribute lookups and a
+fresh set of NumPy temporaries per gate, and the Monte-Carlo noise runner on
+top of it used to draw one ``rng.choice`` per (gate, qubit) error site.  For
+the paper's sweeps the same circuit is executed thousands of times, so this
+module compiles a circuit **once** into a :class:`GateTape`:
+
+* every gate becomes an integer opcode plus packed ``int32`` operand arrays;
+* consecutive gates with the same opcode acting on **pairwise-disjoint**
+  qubits are fused into one :class:`TapeGroup`, which the execution engines
+  apply as a single batched NumPy column operation (QRAM circuits are full of
+  such runs: router-tree levels are layers of parallel ``SWAP``/``CSWAP``);
+* a :class:`NoiseSiteTable` enumerates every (gate, qubit) error site of a
+  noise model so all Pauli codes for a shot batch can be drawn up front.
+
+Fusing is only performed when it is *exactly* equivalent to sequential
+application: gates inside a group touch disjoint qubit sets, so they commute
+with each other and with any Pauli error on an earlier group member's
+operands.  That is what lets the noisy engine apply a group's error sites
+after the whole group without changing the sampled trajectory.
+
+The tape is cached on the circuit (``circuit._tape``) and invalidated by
+:meth:`QuantumCircuit.append`; as a second line of defence the cache is also
+dropped when the instruction count changed (catching direct appends to
+``circuit.instructions``).  Same-length in-place *replacement* of
+instructions bypasses both checks -- circuits are treated as append-only,
+which every builder in the library respects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.circuit.gates import is_path_simulable
+from repro.circuit.instruction import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.sim.noise import NoiseModel, PauliChannel
+
+
+# --------------------------------------------------------------------- opcodes
+#: Integer opcodes, one per gate the registry knows.  ``OP_NOP`` stands for the
+#: identity gate, which executes nothing but still carries noise sites.
+(
+    OP_NOP,
+    OP_X,
+    OP_Y,
+    OP_Z,
+    OP_S,
+    OP_SDG,
+    OP_T,
+    OP_TDG,
+    OP_H,
+    OP_CX,
+    OP_CZ,
+    OP_SWAP,
+    OP_CCX,
+    OP_CSWAP,
+    OP_MCX,
+) = range(15)
+
+#: Gate name -> opcode.  ``BARRIER`` is intentionally absent: barriers are
+#: dropped at compile time (they only matter for depth scheduling).
+GATE_OPCODES: dict[str, int] = {
+    "I": OP_NOP,
+    "X": OP_X,
+    "Y": OP_Y,
+    "Z": OP_Z,
+    "S": OP_S,
+    "SDG": OP_SDG,
+    "T": OP_T,
+    "TDG": OP_TDG,
+    "H": OP_H,
+    "CX": OP_CX,
+    "CZ": OP_CZ,
+    "SWAP": OP_SWAP,
+    "CCX": OP_CCX,
+    "CSWAP": OP_CSWAP,
+    "MCX": OP_MCX,
+}
+
+#: Opcode -> gate name (debugging / error messages).
+OPCODE_NAMES: dict[int, str] = {op: name for name, op in GATE_OPCODES.items()}
+
+# ---------------------------------------------------------------- phase tables
+#: ``i ** k`` for ``k`` in 0..3: the phase a run of ``S`` gates (or ``Y``
+#: phase bookkeeping) accumulates, indexed by the exponent modulo 4.
+PHASE_I_POW = np.array([1.0, 1j, -1.0, -1j], dtype=complex)
+PHASE_I_POW_CONJ = np.conj(PHASE_I_POW)
+
+#: ``exp(i pi/4) ** k`` for ``k`` in 0..7, built by cumulative multiplication
+#: so a fused run of ``T`` gates matches sequential application to the ulp.
+PHASE_T_POW = np.concatenate(
+    ([1.0 + 0.0j], np.cumprod(np.full(7, np.exp(1j * np.pi / 4), dtype=complex)))
+)
+PHASE_T_POW_CONJ = np.conj(PHASE_T_POW)
+
+
+# ---------------------------------------------------------------------- groups
+@dataclass(frozen=True)
+class TapeGroup:
+    """A run of same-opcode gates on pairwise-disjoint qubits.
+
+    ``qubits`` has shape ``(n_gates, arity)``; for ``MCX`` all gates in the
+    group share the same arity (controls first, target last, as in
+    :class:`~repro.circuit.instruction.Instruction`).
+    """
+
+    opcode: int
+    qubits: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of fused gates in the group."""
+        return self.qubits.shape[0]
+
+    @property
+    def single(self) -> bool:
+        return self.qubits.shape[0] == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TapeGroup({OPCODE_NAMES[self.opcode]} x{self.size})"
+
+
+# ----------------------------------------------------------------- noise sites
+@dataclass(frozen=True)
+class NoiseSiteTable:
+    """Every (gate, qubit) error site of a noise model, in execution order.
+
+    The site order is exactly the order the interpreted runner samples in
+    (gates in instruction order, operand qubits in gate order, trivial
+    channels skipped), so drawing all codes up front with :meth:`draw`
+    consumes the random stream identically and reproduces the interpreted
+    engine's trajectories bit for bit under a fixed seed.
+    """
+
+    gate_index: np.ndarray  # (n_sites,) int32: index into GateTape.gates
+    qubit: np.ndarray  # (n_sites,) int32
+    group_index: np.ndarray  # (n_sites,) int32: group after which the site fires
+    channels: tuple  # (n_sites,) PauliChannel per site
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.channels)
+
+    def draw(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw Pauli codes for every site: shape ``(n_sites, shots)``.
+
+        Consecutive sites sharing a channel are drawn in one bulk
+        ``rng.choice`` call, which consumes the generator exactly like the
+        equivalent sequence of per-site :meth:`PauliChannel.sample` calls.
+        """
+        if self.n_sites == 0:
+            return np.empty((0, shots), dtype=np.int64)
+        codes = np.empty((self.n_sites, shots), dtype=np.int64)
+        start = 0
+        channels = self.channels
+        n = self.n_sites
+        while start < n:
+            channel = channels[start]
+            stop = start + 1
+            while stop < n and channels[stop] == channel:
+                stop += 1
+            codes[start:stop] = channel.sample_block(rng, stop - start, shots)
+            start = stop
+        return codes
+
+
+# ------------------------------------------------------------------------ tape
+@dataclass
+class GateTape:
+    """Packed, execution-ready form of a circuit (see module docstring)."""
+
+    num_qubits: int
+    groups: list[TapeGroup]
+    gates: list[Instruction]  # barrier-free gates in original order
+    gate_group: np.ndarray  # (n_gates,) int32: group each gate belongs to
+    unsupported_path_gates: tuple[str, ...]  # gates Feynman engines must reject
+    source_length: int  # len(circuit.instructions) at compile time
+    _site_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def noise_sites(self, noise: "NoiseModel") -> NoiseSiteTable:
+        """Memoized :class:`NoiseSiteTable` for ``noise``.
+
+        The table only depends on the (hashable, frozen) noise model, so
+        repeated Monte-Carlo calls over a sweep reuse it.
+        """
+        try:
+            cached = self._site_cache.get(noise)
+        except TypeError:  # unhashable custom model: recompute every call
+            return self._build_noise_sites(noise)
+        if cached is None:
+            cached = self._build_noise_sites(noise)
+            self._site_cache[noise] = cached
+        return cached
+
+    def _build_noise_sites(self, noise: "NoiseModel") -> NoiseSiteTable:
+        gate_index: list[int] = []
+        qubits: list[int] = []
+        channels: list["PauliChannel"] = []
+        later_in_group: dict[int, set[int]] | None = None
+        for index, instr in enumerate(self.gates):
+            for qubit, channel in noise.gate_error_channels(instr):
+                if channel.is_trivial:
+                    continue
+                if qubit not in instr.qubits:
+                    # Off-operand site (e.g. a crosstalk model): deferring it
+                    # to the end of the fused group is only sound if no later
+                    # gate in the group touches that qubit.
+                    if later_in_group is None:
+                        later_in_group = self._later_group_qubits()
+                    if qubit in later_in_group[index]:
+                        raise ValueError(
+                            f"noise model places an error on qubit {qubit} "
+                            f"after {instr}, but a later gate in the same "
+                            "fused run touches that qubit; the compiled "
+                            "engine cannot order this -- use "
+                            "engine='feynman-interp'"
+                        )
+                gate_index.append(index)
+                qubits.append(qubit)
+                channels.append(channel)
+        gate_arr = np.asarray(gate_index, dtype=np.int32)
+        return NoiseSiteTable(
+            gate_index=gate_arr,
+            qubit=np.asarray(qubits, dtype=np.int32),
+            group_index=self.gate_group[gate_arr]
+            if len(gate_index)
+            else np.empty(0, dtype=np.int32),
+            channels=tuple(channels),
+        )
+
+    def _later_group_qubits(self) -> dict[int, set[int]]:
+        """For each gate, the qubits touched by later gates of its group.
+
+        Suffix scan per group: walk backwards accumulating operand sets.
+        """
+        later: dict[int, set[int]] = {}
+        accumulated: dict[int, set[int]] = {}
+        for index in range(len(self.gates) - 1, -1, -1):
+            group = int(self.gate_group[index])
+            later[index] = set(accumulated.get(group, ()))
+            accumulated.setdefault(group, set()).update(self.gates[index].qubits)
+        return later
+
+
+def _flush(
+    groups: list[TapeGroup], opcode: int | None, rows: list[Sequence[int]]
+) -> None:
+    if opcode is None or not rows:
+        return
+    groups.append(
+        TapeGroup(opcode=opcode, qubits=np.asarray(rows, dtype=np.int32))
+    )
+
+
+def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
+    """Compile ``circuit`` into a :class:`GateTape`, caching it on the circuit.
+
+    The cache is invalidated by :meth:`QuantumCircuit.append` and, as a
+    safety net, whenever the instruction count no longer matches the one the
+    tape was compiled from.  Replacing an instruction in place without
+    changing the count is not detected (see module docstring).
+    """
+    cached = getattr(circuit, "_tape", None)
+    if cached is not None and cached.source_length == len(circuit.instructions):
+        return cached
+
+    groups: list[TapeGroup] = []
+    gates: list[Instruction] = []
+    gate_group: list[int] = []
+    unsupported: list[str] = []
+
+    current_opcode: int | None = None
+    current_arity = -1
+    current_rows: list[Sequence[int]] = []
+    current_qubits: set[int] = set()
+
+    for instr in circuit.instructions:
+        if instr.is_barrier:
+            continue
+        opcode = GATE_OPCODES[instr.gate]
+        if not is_path_simulable(instr.gate) and instr.gate not in unsupported:
+            unsupported.append(instr.gate)
+        operands = instr.qubits
+        fits = (
+            opcode == current_opcode
+            and len(operands) == current_arity
+            and not current_qubits.intersection(operands)
+        )
+        if not fits:
+            _flush(groups, current_opcode, current_rows)
+            current_opcode = opcode
+            current_arity = len(operands)
+            current_rows = []
+            current_qubits = set()
+        current_rows.append(operands)
+        current_qubits.update(operands)
+        gates.append(instr)
+        gate_group.append(len(groups))
+    _flush(groups, current_opcode, current_rows)
+
+    tape = GateTape(
+        num_qubits=circuit.num_qubits,
+        groups=groups,
+        gates=gates,
+        gate_group=np.asarray(gate_group, dtype=np.int32),
+        unsupported_path_gates=tuple(unsupported),
+        source_length=len(circuit.instructions),
+    )
+    circuit._tape = tape
+    return tape

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table1 [--out results/]
-    python -m repro.experiments fig9 --shots 256 [--out results/]
+    python -m repro.experiments fig9 --shots 256 --seed 7 [--out results/]
+    python -m repro.experiments fig10 --engine feynman-interp
     python -m repro.experiments all --quick
 
 Each experiment prints the same rows/series the paper reports (via the
@@ -39,50 +40,54 @@ from repro.experiments import (
     table2_report,
 )
 from repro.experiments.export import export_experiment
+from repro.sim.engine import available_engines, get_default_engine, set_default_engine
 
 
+# Each wrapper runs its sweep exactly once and renders the report from the
+# same records, so a CLI invocation pays for one Monte-Carlo pass, not two.
 def _table1(args) -> tuple[str, list[dict]]:
-    return table1_report(m=args.m, k=args.k), run_table1(args.m, args.k)
+    records = run_table1(args.m, args.k, seed=args.seed)
+    return table1_report(m=args.m, k=args.k, records=records), records
 
 
 def _table2(args) -> tuple[str, list[dict]]:
     configurations = [(2, 1), (3, 2)] if args.quick else [(2, 1), (3, 2), (4, 3)]
-    return table2_report(configurations), run_table2(configurations)
+    records = run_table2(configurations, seed=args.seed)
+    return table2_report(configurations, records=records), records
 
 
 def _fig8(args) -> tuple[str, list[dict]]:
     widths = tuple(range(1, 7)) if args.quick else tuple(range(1, 10))
-    return fig8_report(widths), run_fig8(widths)
+    records = run_fig8(widths, seed=args.seed)
+    return fig8_report(widths, records=records), records
 
 
 def _fig9(args) -> tuple[str, list[dict]]:
     widths = (1, 2, 3, 4) if args.quick else (1, 2, 3, 4, 5, 6)
     shots = args.shots or (128 if args.quick else 1024)
-    return fig9_report(widths, shots=shots), run_fig9(widths, shots=shots)
+    records = run_fig9(widths, shots=shots, seed=args.seed)
+    return fig9_report(widths, shots=shots, records=records), records
 
 
 def _fig10(args) -> tuple[str, list[dict]]:
     widths = (1, 2, 3) if args.quick else (1, 2, 3, 4, 5, 6)
     shots = args.shots or (128 if args.quick else 1024)
-    return (
-        fig10_report(widths, shots=shots),
-        run_fig10(widths, shots=shots),
-    )
+    records = run_fig10(widths, shots=shots, seed=args.seed)
+    return fig10_report(widths, shots=shots, records=records), records
 
 
 def _fig11(args) -> tuple[str, list[dict]]:
     qram_widths = (1, 2) if args.quick else (1, 2, 3, 4)
     sqc_widths = (0, 1, 2) if args.quick else (0, 1, 2, 3)
     shots = args.shots or (128 if args.quick else 512)
-    return (
-        fig11_report(qram_widths, sqc_widths, shots=shots),
-        run_fig11(qram_widths, sqc_widths, shots=shots),
-    )
+    records = run_fig11(qram_widths, sqc_widths, shots=shots, seed=args.seed)
+    return fig11_report(qram_widths, sqc_widths, shots=shots, records=records), records
 
 
 def _fig12(args) -> tuple[str, list[dict]]:
     shots = args.shots or (100 if args.quick else 200)
-    return fig12_report(shots=shots), run_fig12(shots=shots)
+    records = run_fig12(shots=shots, seed=args.seed)
+    return fig12_report(shots=shots, records=records), records
 
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -111,6 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--m", type=int, default=4, help="QRAM width for table1")
     parser.add_argument("--k", type=int, default=2, help="SQC width for table1")
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed forwarded to every runner (default: the project-wide "
+        "DEFAULT_SEED, so figures are reproducible bit-for-bit)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="execution engine for every simulation (default: the compiled "
+        "'feynman-tape' engine)",
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default=None,
@@ -134,9 +153,19 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run_experiment(name, args)
+    previous_engine = get_default_engine()
+    if args.engine is not None:
+        set_default_engine(args.engine)
+    try:
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            run_experiment(name, args)
+    except NotImplementedError as exc:
+        # e.g. --engine statevector on a Monte-Carlo figure.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        set_default_engine(previous_engine)
     return 0
 
 

@@ -75,15 +75,17 @@ def fig10_report(
     base_epsilon: float = DEFAULT_BASE_EPSILON,
     shots: int = DEFAULT_SHOTS,
     seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
 ) -> str:
     """Human-readable Figure 10 series (one table per error channel)."""
-    records = run_fig10(
-        widths,
-        reduction_factors,
-        base_epsilon=base_epsilon,
-        shots=shots,
-        seed=seed,
-    )
+    if records is None:
+        records = run_fig10(
+            widths,
+            reduction_factors,
+            base_epsilon=base_epsilon,
+            shots=shots,
+            seed=seed,
+        )
     lines = []
     for error_name, panel in (("Z", "left panel: phase flip"), ("X", "right panel: bit flip")):
         lines.append(f"Figure 10 reproduction ({panel})")

@@ -79,11 +79,13 @@ def fig11_report(
     *,
     shots: int = DEFAULT_SHOTS,
     seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
 ) -> str:
     """Human-readable Figure 11 grids (one per error channel and eps_r)."""
-    records = run_fig11(
-        qram_widths, sqc_widths, reduction_factors, shots=shots, seed=seed
-    )
+    if records is None:
+        records = run_fig11(
+            qram_widths, sqc_widths, reduction_factors, shots=shots, seed=seed
+        )
     lines = []
     for error_name in ("Z", "X"):
         for factor in reduction_factors:

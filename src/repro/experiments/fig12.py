@@ -113,11 +113,13 @@ def fig12_report(
     *,
     shots: int = DEFAULT_SHOTS,
     seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
 ) -> str:
     """Human-readable Figure 12 series."""
-    records = run_fig12(
-        configurations, reduction_factors, shots=shots, seed=seed
-    )
+    if records is None:
+        records = run_fig12(
+            configurations, reduction_factors, shots=shots, seed=seed
+        )
     labels = [configuration.label for configuration in configurations]
     swaps = {
         record["configuration"]: record["extra_swaps"] for record in records

@@ -57,9 +57,15 @@ def run_fig8(
     return records
 
 
-def fig8_report(widths: tuple[int, ...] = DEFAULT_WIDTHS, *, seed: int | None = None) -> str:
-    """Human-readable Figure 8 series."""
-    records = run_fig8(widths, seed=seed)
+def fig8_report(
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    *,
+    seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
+) -> str:
+    """Human-readable Figure 8 series (pass ``records`` to skip recomputing)."""
+    if records is None:
+        records = run_fig8(widths, seed=seed)
     columns = [
         "m",
         "grid",

@@ -76,9 +76,11 @@ def fig9_report(
     epsilon: float = DEFAULT_EPSILON,
     shots: int = DEFAULT_SHOTS,
     seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
 ) -> str:
     """Human-readable Figure 9 series (one column per architecture/error pair)."""
-    records = run_fig9(widths, epsilon=epsilon, shots=shots, seed=seed)
+    if records is None:
+        records = run_fig9(widths, epsilon=epsilon, shots=shots, seed=seed)
     series = sorted({(r["architecture"], r["error"]) for r in records})
     headers = ["m"] + [f"{arch}-{err}" for arch, err in series]
     rows = []

@@ -47,9 +47,16 @@ def run_table1(
     return records
 
 
-def table1_report(m: int = 4, k: int = 2, *, seed: int | None = None) -> str:
+def table1_report(
+    m: int = 4,
+    k: int = 2,
+    *,
+    seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
+) -> str:
     """Human-readable Table 1 (one block per metric)."""
-    records = run_table1(m, k, seed=seed)
+    if records is None:
+        records = run_table1(m, k, seed=seed)
     lines = [f"Table 1 reproduction (m={m}, k={k})"]
     for metric in TABLE1_METRICS:
         subset = [r for r in records if r["metric"] == metric]

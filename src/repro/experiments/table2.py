@@ -54,10 +54,14 @@ def run_table2(
 
 
 def table2_report(
-    configurations: list[tuple[int, int]] | None = None, *, seed: int | None = None
+    configurations: list[tuple[int, int]] | None = None,
+    *,
+    seed: int | None = None,
+    records: list[dict[str, object]] | None = None,
 ) -> str:
     """Human-readable Table 2 over the requested configurations."""
-    records = run_table2(configurations, seed=seed)
+    if records is None:
+        records = run_table2(configurations, seed=seed)
     configs = sorted({(r["m"], r["k"]) for r in records})
     lines = []
     for m, k in configs:

@@ -13,7 +13,7 @@ Public classes
 * :mod:`~repro.qram.query` -- name-based factory and experiment helpers.
 """
 
-from repro.qram.base import QRAMArchitecture, ResourceReport
+from repro.qram.base import CompiledQuery, QRAMArchitecture, ResourceReport
 from repro.qram.bucket_brigade import BucketBrigadeQRAM
 from repro.qram.fanout import FanoutQRAM
 from repro.qram.memory import ClassicalMemory
@@ -34,6 +34,7 @@ __all__ = [
     "ARCHITECTURES",
     "BucketBrigadeQRAM",
     "ClassicalMemory",
+    "CompiledQuery",
     "FanoutQRAM",
     "MultiBitQuery",
     "QRAMArchitecture",

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.decompose import CliffordTCost, circuit_cost
+from repro.circuit.ir import GateTape, compile_circuit
 from repro.qram.memory import ClassicalMemory
 from repro.sim.feynman import FeynmanPathSimulator, QueryResult
 from repro.sim.noise import NoiseModel, NoiselessModel
@@ -55,6 +56,23 @@ class ResourceReport:
         }
 
 
+@dataclass(frozen=True)
+class CompiledQuery:
+    """Everything a noisy-query sweep reuses across points, built once.
+
+    Holding the built circuit, its compiled gate tape, the uniform input
+    superposition, the analytically known ideal output and the kept-qubit
+    list means a parameter sweep (Figures 9-12 style) pays the construction
+    cost once per architecture instance instead of once per sweep point.
+    """
+
+    circuit: QuantumCircuit
+    tape: GateTape
+    input_state: PathState
+    ideal_output: PathState
+    kept_qubits: tuple[int, ...]
+
+
 @dataclass
 class QRAMArchitecture:
     """Base class for query architectures.
@@ -79,6 +97,7 @@ class QRAMArchitecture:
     bit_plane: int = 0
     name: str = field(default="abstract", init=False)
     _circuit: QuantumCircuit | None = field(default=None, init=False, repr=False)
+    _compiled: CompiledQuery | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.qram_width <= self.memory.address_width:
@@ -132,6 +151,25 @@ class QRAMArchitecture:
             self._circuit = circuit
         return self._circuit
 
+    def compiled_query(self) -> CompiledQuery:
+        """Memoized bundle of circuit, gate tape, input and ideal output.
+
+        Noise-parameter sweeps call :meth:`run_query` many times on the same
+        instance; everything that does not depend on the noise model lives
+        here so it is built exactly once.
+        """
+        if self._compiled is None:
+            circuit = self.build_circuit()
+            input_state = self.input_state()
+            self._compiled = CompiledQuery(
+                circuit=circuit,
+                tape=compile_circuit(circuit),
+                input_state=input_state,
+                ideal_output=self.ideal_output(input_state),
+                kept_qubits=tuple(self.kept_qubits()),
+            )
+        return self._compiled
+
     # ---------------------------------------------------------------- registers
     def address_qubits(self) -> list[int]:
         """Address register, most significant bit first (SQC bits then QRAM bits)."""
@@ -175,10 +213,24 @@ class QRAMArchitecture:
         return PathState(bits=bits, amplitudes=state.amplitudes.copy())
 
     # -------------------------------------------------------------- simulation
-    def simulate(self, input_state: PathState | None = None) -> PathState:
-        """Noiseless Feynman-path simulation of the query circuit."""
-        state = self.input_state() if input_state is None else input_state
-        return FeynmanPathSimulator().run(self.build_circuit(), state)
+    def simulate(
+        self, input_state: PathState | None = None, *, engine=None
+    ) -> PathState:
+        """Noiseless simulation of the query circuit.
+
+        ``engine`` selects the execution engine (see
+        :mod:`repro.sim.engine`); ``None`` uses the session default
+        (the compiled ``"feynman-tape"`` engine).
+        """
+        if input_state is None:
+            compiled = self.compiled_query()
+            circuit, state = compiled.circuit, compiled.input_state
+        else:
+            # Explicit inputs skip the compiled bundle: building the uniform
+            # superposition and ideal output it carries would be wasted work
+            # (e.g. MultiBitQuery readouts run many single-path inputs).
+            circuit, state = self.build_circuit(), input_state
+        return FeynmanPathSimulator(engine=engine).run(circuit, state)
 
     def verify(self, input_state: PathState | None = None) -> bool:
         """True when the noiseless simulation matches the ideal output exactly."""
@@ -197,6 +249,7 @@ class QRAMArchitecture:
         input_state: PathState | None = None,
         reduced: bool = True,
         rng: np.random.Generator | int | None = None,
+        engine=None,
     ) -> QueryResult:
         """Monte-Carlo noisy query returning per-shot fidelities.
 
@@ -213,19 +266,31 @@ class QRAMArchitecture:
             operational figure of merit) or the full-state overlap (False).
         rng:
             Seed or generator for reproducibility.
+        engine:
+            Execution engine name or instance (see :mod:`repro.sim.engine`);
+            ``None`` uses the session default (``"feynman-tape"``).
         """
         if isinstance(rng, (int, np.integer)) or rng is None:
             rng = np.random.default_rng(rng)
         noise = NoiselessModel() if noise is None else noise
-        state = self.input_state() if input_state is None else input_state
-        keep = self.kept_qubits() if reduced else None
-        return FeynmanPathSimulator().query_fidelities(
-            self.build_circuit(),
+        if input_state is None:
+            compiled = self.compiled_query()
+            circuit = compiled.circuit
+            state = compiled.input_state
+            ideal = compiled.ideal_output
+            keep = list(compiled.kept_qubits) if reduced else None
+        else:
+            circuit = self.build_circuit()
+            state = input_state
+            ideal = self.ideal_output(state)
+            keep = self.kept_qubits() if reduced else None
+        return FeynmanPathSimulator(engine=engine).query_fidelities(
+            circuit,
             state,
             noise,
             shots,
             keep_qubits=keep,
-            ideal_output=self.ideal_output(state),
+            ideal_output=ideal,
             rng=rng,
         )
 

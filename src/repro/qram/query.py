@@ -91,11 +91,18 @@ def run_query_experiment(
     amplitudes: Mapping[int, complex] | None = None,
     reduced: bool = True,
     rng: np.random.Generator | int | None = None,
+    engine: str | None = None,
 ) -> QueryExperimentResult:
-    """Run one noisy-query experiment and summarise it (Figures 9-12 pattern)."""
-    input_state = architecture.input_state(amplitudes)
+    """Run one noisy-query experiment and summarise it (Figures 9-12 pattern).
+
+    ``engine`` selects the execution engine (see :mod:`repro.sim.engine`);
+    ``None`` uses the session default.  With the default uniform input the
+    architecture's memoized :meth:`~repro.qram.base.QRAMArchitecture.compiled_query`
+    bundle is reused, so repeated sweep points skip circuit construction.
+    """
+    input_state = None if amplitudes is None else architecture.input_state(amplitudes)
     result = architecture.run_query(
-        noise, shots, input_state=input_state, reduced=reduced, rng=rng
+        noise, shots, input_state=input_state, reduced=reduced, rng=rng, engine=engine
     )
     return QueryExperimentResult(
         architecture=architecture.name,
@@ -114,12 +121,15 @@ class MultiBitQuery:
     The virtual QRAM natively transfers one bit per query; memories with
     ``data_width > 1`` are served by repeating the query for each bit plane,
     which is the strategy the paper describes as compatible with its design.
+    ``engine`` selects the execution engine used for the per-plane
+    simulations (``None`` = session default, see :mod:`repro.sim.engine`).
     """
 
     memory: ClassicalMemory
     qram_width: int
     architecture: str = "virtual"
     options: VirtualQRAMOptions | None = None
+    engine: str | None = None
 
     def planes(self) -> list[QRAMArchitecture]:
         """One architecture instance per bit plane."""
@@ -144,7 +154,9 @@ class MultiBitQuery:
         value = 0
         for plane, architecture in enumerate(self.planes()):
             amplitudes = {address: 1.0 + 0.0j}
-            output = architecture.simulate(architecture.input_state(amplitudes))
+            output = architecture.simulate(
+                architecture.input_state(amplitudes), engine=self.engine
+            )
             bus_bit = int(output.bits[0, architecture.bus_qubit()])
             value = (value << 1) | bus_bit
         return value

@@ -13,6 +13,10 @@ Contents
   matrix of paths plus complex amplitudes.
 * :class:`~repro.sim.feynman.FeynmanPathSimulator` -- noiseless and
   Monte-Carlo-noisy path simulation, vectorised across both paths and shots.
+* :mod:`~repro.sim.engine` -- pluggable execution engines behind the
+  simulator facade: the compiled gate-tape engine (``"feynman-tape"``, the
+  default), the interpreted reference (``"feynman-interp"``) and the dense
+  ``"statevector"`` adapter, plus the name registry and session default.
 * :class:`~repro.sim.statevector.StatevectorSimulator` -- dense reference
   simulator (supports ``H``/``S``/``T``) used for cross-validation in tests.
 * :mod:`~repro.sim.noise` -- Pauli channels, gate-based and qubit-based
@@ -21,6 +25,14 @@ Contents
   fidelity estimators.
 """
 
+from repro.sim.engine import (
+    Engine,
+    available_engines,
+    get_default_engine,
+    get_engine,
+    register_engine,
+    set_default_engine,
+)
 from repro.sim.fidelity import reduced_fidelity, state_fidelity
 from repro.sim.feynman import FeynmanPathSimulator, UnsupportedGateError
 from repro.sim.noise import (
@@ -37,6 +49,7 @@ from repro.sim.statevector import StatevectorSimulator
 
 __all__ = [
     "DepolarizingNoise",
+    "Engine",
     "FeynmanPathSimulator",
     "GateNoiseModel",
     "NoiseModel",
@@ -46,7 +59,12 @@ __all__ = [
     "QubitOncePauliNoise",
     "StatevectorSimulator",
     "UnsupportedGateError",
+    "available_engines",
+    "get_default_engine",
+    "get_engine",
     "reduced_fidelity",
+    "register_engine",
     "sample_noisy_circuit",
+    "set_default_engine",
     "state_fidelity",
 ]

@@ -1,0 +1,479 @@
+"""Pluggable execution engines for query-circuit simulation.
+
+Every simulator in the reproduction answers the same two questions -- "what
+state does this circuit produce?" and "what are the per-shot trajectories
+under Monte-Carlo Pauli noise?" -- so both are captured behind one
+:class:`Engine` interface with a name-based registry:
+
+``"feynman-interp"``
+    The original instruction-at-a-time Feynman-path runner: string dispatch
+    per gate, one ``rng`` draw per (gate, qubit) error site.  Kept as the
+    readable reference implementation and the baseline for
+    ``benchmarks/bench_compiled_engine.py``.
+
+``"feynman-tape"``
+    The compiled engine (the default).  Executes the fused
+    :class:`~repro.circuit.ir.GateTape` group by group with integer-opcode
+    dispatch, draws **all** Pauli codes for a shot batch up front from the
+    tape's noise-site table, and applies the (sparse) error events as
+    per-shot row-slice updates.  Under a fixed seed it consumes the random
+    stream identically to ``"feynman-interp"`` and reproduces its shot
+    fidelities bit for bit on the QRAM gate set (permutation gates plus
+    exact ``+-1`` / ``+-i`` phases); fused ``T``/``TDG`` runs use a phase
+    table whose rounding can differ from sequential multiplication by ~1 ulp.
+
+``"statevector"``
+    The dense reference simulator, adapted to the same interface (noiseless
+    only; its output paths are merged per basis state).
+
+Engines are stateless; :func:`get_engine` returns shared instances.  The
+module-level default (``"feynman-tape"``) can be swapped globally with
+:func:`set_default_engine`, which is how ``python -m repro.experiments
+--engine`` reroutes every figure sweep without threading a parameter through
+each runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.ir import (
+    GateTape,
+    OP_CCX,
+    OP_CSWAP,
+    OP_CX,
+    OP_CZ,
+    OP_MCX,
+    OP_NOP,
+    OP_S,
+    OP_SDG,
+    OP_SWAP,
+    OP_T,
+    OP_TDG,
+    OP_X,
+    OP_Y,
+    OP_Z,
+    PHASE_I_POW,
+    PHASE_I_POW_CONJ,
+    PHASE_T_POW,
+    PHASE_T_POW_CONJ,
+    compile_circuit,
+)
+from repro.sim.feynman_kernels import (
+    UnsupportedGateError,
+    apply_instruction,
+    apply_masked_pauli,
+)
+from repro.sim.noise import (
+    NoiseModel,
+    NoiselessModel,
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+)
+from repro.sim.paths import PathState
+
+
+def _check_state(circuit: QuantumCircuit, state: PathState) -> None:
+    if state.num_qubits != circuit.num_qubits:
+        raise ValueError(
+            f"state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+        )
+
+
+class Engine:
+    """Interface every execution engine implements (see module docstring)."""
+
+    name: str = "abstract"
+
+    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+        """Noiseless evolution of ``state`` through ``circuit``."""
+        raise NotImplementedError
+
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Monte-Carlo trajectories: ``shots`` stacked path blocks.
+
+        Returns ``(bits, amps)`` with ``bits`` of shape
+        ``(shots * n_paths, n_qubits)``; rows ``[s * n_paths, (s+1) * n_paths)``
+        belong to shot ``s``.
+        """
+        raise NotImplementedError
+
+
+# ==================================================================== engines
+class InterpretedFeynmanEngine(Engine):
+    """Instruction-at-a-time Feynman-path execution (the original hot path)."""
+
+    name = "feynman-interp"
+
+    def _validate(self, circuit: QuantumCircuit) -> None:
+        tape = compile_circuit(circuit)
+        if tape.unsupported_path_gates:
+            raise UnsupportedGateError(
+                f"gate {tape.unsupported_path_gates[0]} is not simulable by "
+                "the Feynman-path simulator"
+            )
+
+    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+        _check_state(circuit, state)
+        self._validate(circuit)
+        bits = state.bits.copy()
+        amps = state.amplitudes.copy()
+        for instr in circuit.instructions:
+            if instr.is_barrier:
+                continue
+            apply_instruction(bits, amps, instr)
+        return PathState(bits=bits, amplitudes=amps)
+
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        _check_state(circuit, state)
+        self._validate(circuit)
+        rng = np.random.default_rng() if rng is None else rng
+
+        n_paths = state.num_paths
+        bits = np.tile(state.bits, (shots, 1))
+        amps = np.tile(state.amplitudes, shots).astype(complex)
+
+        noiseless = isinstance(noise, NoiselessModel)
+        for instr in circuit.instructions:
+            if instr.is_barrier:
+                continue
+            apply_instruction(bits, amps, instr)
+            if noiseless:
+                continue
+            for qubit, channel in noise.gate_error_channels(instr):
+                if channel.is_trivial:
+                    continue
+                shot_codes = channel.sample(rng, shots)
+                if not np.any(shot_codes != PAULI_I):
+                    continue
+                row_codes = np.repeat(shot_codes, n_paths)
+                apply_masked_pauli(bits, amps, qubit, row_codes)
+        return bits, amps
+
+
+class TapeFeynmanEngine(Engine):
+    """Compiled Feynman-path execution over the fused gate tape."""
+
+    name = "feynman-tape"
+
+    def _tape(self, circuit: QuantumCircuit) -> GateTape:
+        tape = compile_circuit(circuit)
+        if tape.unsupported_path_gates:
+            raise UnsupportedGateError(
+                f"gate {tape.unsupported_path_gates[0]} is not simulable by "
+                "the Feynman-path simulator"
+            )
+        return tape
+
+    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+        _check_state(circuit, state)
+        tape = self._tape(circuit)
+        # Qubit-major layout: bits_q[q] is one contiguous row per qubit, so
+        # every gate update streams over contiguous memory instead of a
+        # num_qubits-strided column of the row-major path matrix.  The copy is
+        # explicit: ascontiguousarray would alias the input for single-path
+        # states, and the group kernels mutate bits_q in place.
+        bits_q = state.bits.T.copy()
+        amps = state.amplitudes.copy()
+        for group in tape.groups:
+            _apply_group(bits_q, amps, group.opcode, group.qubits)
+        return PathState(bits=np.ascontiguousarray(bits_q.T), amplitudes=amps)
+
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        _check_state(circuit, state)
+        tape = self._tape(circuit)
+        rng = np.random.default_rng() if rng is None else rng
+
+        n_paths = state.num_paths
+        # Shot-stacked, qubit-major block: column s * n_paths + p is path p of
+        # shot s (the transpose of the layout the interpreted engine uses).
+        bits_q = np.tile(np.ascontiguousarray(state.bits.T), (1, shots))
+        amps = np.tile(state.amplitudes, shots).astype(complex)
+
+        if isinstance(noise, NoiselessModel):
+            for group in tape.groups:
+                _apply_group(bits_q, amps, group.opcode, group.qubits)
+            return np.ascontiguousarray(bits_q.T), amps
+
+        # One up-front draw for every (gate, qubit) error site of the batch,
+        # then a sparse bucket of nonzero events per fused group.
+        sites = tape.noise_sites(noise)
+        codes = sites.draw(shots, rng)
+        site_rows, event_shot = np.nonzero(codes)
+        event_code = codes[site_rows, event_shot]
+        event_qubit = sites.qubit[site_rows]
+        # Group indices are non-decreasing in site order, so the event list is
+        # already sorted by group; bucket boundaries via searchsorted.
+        event_group = sites.group_index[site_rows]
+        bucket_starts = np.searchsorted(
+            event_group, np.arange(len(tape.groups) + 1)
+        )
+
+        for index, group in enumerate(tape.groups):
+            _apply_group(bits_q, amps, group.opcode, group.qubits)
+            for event in range(bucket_starts[index], bucket_starts[index + 1]):
+                _apply_error_event(
+                    bits_q,
+                    amps,
+                    int(event_qubit[event]),
+                    int(event_shot[event]),
+                    int(event_code[event]),
+                    n_paths,
+                )
+        return np.ascontiguousarray(bits_q.T), amps
+
+
+class StatevectorEngine(Engine):
+    """Dense statevector execution adapted to the engine interface.
+
+    Output paths are merged per basis state (unlike the Feynman engines,
+    which keep one row per input path), so comparisons should go through
+    :meth:`PathState.as_dict`.  Monte-Carlo noise is not supported.
+    """
+
+    name = "statevector"
+
+    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+        from repro.sim.statevector import StatevectorSimulator
+
+        _check_state(circuit, state)
+        return StatevectorSimulator().run_to_path_state(circuit, state)
+
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        if not isinstance(noise, NoiselessModel):
+            raise NotImplementedError(
+                "the statevector engine does not support Monte-Carlo noise; "
+                "use 'feynman-tape' or 'feynman-interp'"
+            )
+        output = self.run(circuit, state)
+        # The caller slices the result into blocks of the *input* path count,
+        # so the merged dense output must be reshaped to that contract: pad
+        # with zero-amplitude rows when merging shrank the path set, refuse
+        # when branching (H) grew it beyond the block size.
+        n_paths = state.num_paths
+        if output.num_paths > n_paths:
+            raise NotImplementedError(
+                f"statevector output has {output.num_paths} paths but the "
+                f"input has {n_paths}; the per-shot block contract cannot "
+                "represent branching circuits -- use the dense simulator "
+                "directly"
+            )
+        out_bits = output.bits
+        out_amps = output.amplitudes
+        if output.num_paths < n_paths:
+            pad = n_paths - output.num_paths
+            out_bits = np.vstack(
+                [out_bits, np.zeros((pad, output.num_qubits), dtype=bool)]
+            )
+            out_amps = np.concatenate([out_amps, np.zeros(pad, dtype=complex)])
+        bits = np.tile(out_bits, (shots, 1))
+        amps = np.tile(out_amps, shots).astype(complex)
+        return bits, amps
+
+
+# ============================================================= group execution
+def _apply_group(
+    bits_q: np.ndarray, amps: np.ndarray, opcode: int, qs: np.ndarray
+) -> None:
+    """Apply one fused group in place.
+
+    ``bits_q`` is the **qubit-major** path block: shape
+    ``(n_qubits, n_rows)``, so ``bits_q[q]`` is one contiguous row per qubit
+    and every update below streams over contiguous memory.  Gates inside a
+    group act on pairwise-disjoint qubits, which is what makes the fancy-
+    indexed batched forms exactly equivalent to sequential application.
+    """
+    single = qs.shape[0] == 1
+    if opcode == OP_SWAP:
+        if single:
+            a, b = int(qs[0, 0]), int(qs[0, 1])
+            row = bits_q[a].copy()
+            bits_q[a] = bits_q[b]
+            bits_q[b] = row
+        else:
+            a, b = qs[:, 0], qs[:, 1]
+            rows = bits_q[a]  # fancy indexing copies
+            bits_q[a] = bits_q[b]
+            bits_q[b] = rows
+    elif opcode == OP_CSWAP:
+        control, a, b = qs[:, 0], qs[:, 1], qs[:, 2]
+        if single:
+            control, a, b = int(control[0]), int(a[0]), int(b[0])
+        diff = (bits_q[a] ^ bits_q[b]) & bits_q[control]
+        bits_q[a] ^= diff
+        bits_q[b] ^= diff
+    elif opcode == OP_CX:
+        if single:
+            bits_q[int(qs[0, 1])] ^= bits_q[int(qs[0, 0])]
+        else:
+            bits_q[qs[:, 1]] ^= bits_q[qs[:, 0]]
+    elif opcode == OP_CCX:
+        if single:
+            c1, c2, target = (int(q) for q in qs[0])
+            bits_q[target] ^= bits_q[c1] & bits_q[c2]
+        else:
+            bits_q[qs[:, 2]] ^= bits_q[qs[:, 0]] & bits_q[qs[:, 1]]
+    elif opcode == OP_X:
+        bits_q[qs[:, 0]] ^= True
+    elif opcode == OP_NOP:
+        return
+    elif opcode == OP_MCX:
+        if single:
+            controls, target = qs[0, :-1], int(qs[0, -1])
+            bits_q[target] ^= np.logical_and.reduce(bits_q[controls], axis=0)
+        else:
+            active = np.logical_and.reduce(bits_q[qs[:, :-1]], axis=1)
+            bits_q[qs[:, -1]] ^= active
+    elif opcode == OP_Z:
+        if single:
+            amps[bits_q[int(qs[0, 0])]] *= -1.0
+        else:
+            parity = bits_q[qs[:, 0]].sum(axis=0) & 1
+            amps[parity == 1] *= -1.0
+    elif opcode == OP_CZ:
+        if single:
+            control, target = int(qs[0, 0]), int(qs[0, 1])
+            amps[bits_q[control] & bits_q[target]] *= -1.0
+        else:
+            parity = (bits_q[qs[:, 0]] & bits_q[qs[:, 1]]).sum(axis=0) & 1
+            amps[parity == 1] *= -1.0
+    elif opcode == OP_Y:
+        if single:
+            qubit = int(qs[0, 0])
+            row = bits_q[qubit]
+            amps *= np.where(row, -1j, 1j)
+            bits_q[qubit] = ~row
+        else:
+            rows = qs[:, 0]
+            # Y|0> = i|1>, Y|1> = -i|0>: exponent of i is 1 + 2 * bit per gate.
+            exponent = qs.shape[0] + 2 * bits_q[rows].sum(axis=0)
+            amps *= PHASE_I_POW[exponent & 3]
+            bits_q[rows] ^= True
+    elif opcode == OP_S:
+        if single:
+            amps[bits_q[int(qs[0, 0])]] *= 1j
+        else:
+            amps *= PHASE_I_POW[bits_q[qs[:, 0]].sum(axis=0) & 3]
+    elif opcode == OP_SDG:
+        if single:
+            amps[bits_q[int(qs[0, 0])]] *= -1j
+        else:
+            amps *= PHASE_I_POW_CONJ[bits_q[qs[:, 0]].sum(axis=0) & 3]
+    elif opcode == OP_T:
+        if single:
+            amps[bits_q[int(qs[0, 0])]] *= PHASE_T_POW[1]
+        else:
+            amps *= PHASE_T_POW[bits_q[qs[:, 0]].sum(axis=0) & 7]
+    elif opcode == OP_TDG:
+        if single:
+            amps[bits_q[int(qs[0, 0])]] *= PHASE_T_POW_CONJ[1]
+        else:
+            amps *= PHASE_T_POW_CONJ[bits_q[qs[:, 0]].sum(axis=0) & 7]
+    else:  # pragma: no cover - every registered opcode is handled above
+        raise UnsupportedGateError(f"opcode {opcode} cannot be path-simulated")
+
+
+def _apply_error_event(
+    bits_q: np.ndarray,
+    amps: np.ndarray,
+    qubit: int,
+    shot: int,
+    code: int,
+    n_paths: int,
+) -> None:
+    """Apply one sampled Pauli error to a single shot's path block."""
+    span = slice(shot * n_paths, (shot + 1) * n_paths)
+    if code == PAULI_Z:
+        segment = amps[span]
+        segment[bits_q[qubit, span]] *= -1.0
+    elif code == PAULI_X:
+        bits_q[qubit, span] ^= True
+    elif code == PAULI_Y:
+        block = bits_q[qubit, span]
+        amps[span] *= np.where(block, -1j, 1j)
+        bits_q[qubit, span] = ~block
+
+
+# ===================================================================== registry
+_ENGINES: dict[str, Engine] = {}
+_DEFAULT_ENGINE = "feynman-tape"
+
+
+def register_engine(engine: Engine, *, aliases: tuple[str, ...] = ()) -> Engine:
+    """Register ``engine`` under its name (plus ``aliases``) and return it."""
+    for key in (engine.name, *aliases):
+        _ENGINES[key] = engine
+    return engine
+
+
+def available_engines() -> list[str]:
+    """Sorted names of every registered engine."""
+    return sorted(_ENGINES)
+
+
+def get_engine(spec: str | Engine | None = None) -> Engine:
+    """Resolve an engine name (``None`` means the current default)."""
+    if isinstance(spec, Engine):
+        return spec
+    key = _DEFAULT_ENGINE if spec is None else spec
+    try:
+        return _ENGINES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {key!r}; available: {available_engines()}"
+        ) from None
+
+
+def get_default_engine() -> str:
+    """Name of the engine used when none is specified."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(name: str) -> None:
+    """Globally switch the default engine (e.g. from the experiments CLI)."""
+    global _DEFAULT_ENGINE
+    if name not in _ENGINES:
+        raise KeyError(f"unknown engine {name!r}; available: {available_engines()}")
+    _DEFAULT_ENGINE = name
+
+
+register_engine(InterpretedFeynmanEngine())
+register_engine(TapeFeynmanEngine())
+register_engine(StatevectorEngine())

@@ -13,10 +13,18 @@ constant in circuit depth -- the property that lets the paper simulate noisy
 QRAMs far beyond the reach of dense statevector simulation.
 
 For Monte-Carlo noise the simulator goes one step further and vectorises over
-shots as well: the path matrix is replicated ``shots`` times and, after each
-gate, per-shot Pauli errors are drawn and applied as masked column updates.
-This turns the ``shots x gates`` Python loop into a single pass over the gate
-list, which is what makes the Figure 9-12 sweeps tractable in pure Python.
+shots as well: the path matrix is replicated ``shots`` times and per-shot
+Pauli errors are applied as masked column updates.
+
+:class:`FeynmanPathSimulator` is a thin facade over the pluggable execution
+engines of :mod:`repro.sim.engine`.  By default it uses the compiled
+``"feynman-tape"`` engine, which executes the circuit's fused
+:class:`~repro.circuit.ir.GateTape` with integer-opcode dispatch and draws
+all Monte-Carlo Pauli codes up front; pass ``engine="feynman-interp"`` for
+the original instruction-at-a-time runner (bit-identical trajectories under
+a fixed seed on the QRAM gate set -- fused ``T`` runs can differ by ~1 ulp)
+or ``engine="statevector"`` for the dense reference simulator (noiseless
+only).
 """
 
 from __future__ import annotations
@@ -27,86 +35,12 @@ import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gates import is_path_simulable
-from repro.circuit.instruction import Instruction
+from repro.sim.feynman_kernels import UnsupportedGateError
 from repro.sim.fidelity import shot_fidelities
-from repro.sim.noise import (
-    NoiseModel,
-    NoiselessModel,
-    PAULI_I,
-    PAULI_X,
-    PAULI_Y,
-    PAULI_Z,
-)
+from repro.sim.noise import NoiseModel
 from repro.sim.paths import PathState
 
-_T_PHASE = np.exp(1j * np.pi / 4)
-
-
-class UnsupportedGateError(ValueError):
-    """Raised when a circuit contains a gate that branches basis states (e.g. H)."""
-
-
-def _apply_instruction(bits: np.ndarray, amps: np.ndarray, instr: Instruction) -> None:
-    """Apply one gate to every row of ``bits``/``amps`` in place."""
-    gate = instr.gate
-    q = instr.qubits
-    if gate == "I" or gate == "BARRIER":
-        return
-    if gate == "X":
-        bits[:, q[0]] ^= True
-    elif gate == "Y":
-        col = bits[:, q[0]]
-        amps *= np.where(col, -1j, 1j)
-        bits[:, q[0]] = ~col
-    elif gate == "Z":
-        amps[bits[:, q[0]]] *= -1.0
-    elif gate == "S":
-        amps[bits[:, q[0]]] *= 1j
-    elif gate == "SDG":
-        amps[bits[:, q[0]]] *= -1j
-    elif gate == "T":
-        amps[bits[:, q[0]]] *= _T_PHASE
-    elif gate == "TDG":
-        amps[bits[:, q[0]]] *= np.conj(_T_PHASE)
-    elif gate == "CX":
-        bits[:, q[1]] ^= bits[:, q[0]]
-    elif gate == "CZ":
-        amps[bits[:, q[0]] & bits[:, q[1]]] *= -1.0
-    elif gate == "SWAP":
-        a = bits[:, q[0]].copy()
-        bits[:, q[0]] = bits[:, q[1]]
-        bits[:, q[1]] = a
-    elif gate == "CCX":
-        bits[:, q[2]] ^= bits[:, q[0]] & bits[:, q[1]]
-    elif gate == "CSWAP":
-        control, a, b = q
-        diff = (bits[:, a] ^ bits[:, b]) & bits[:, control]
-        bits[:, a] ^= diff
-        bits[:, b] ^= diff
-    elif gate == "MCX":
-        controls, target = q[:-1], q[-1]
-        active = np.all(bits[:, list(controls)], axis=1)
-        bits[:, target] ^= active
-    else:
-        raise UnsupportedGateError(
-            f"gate {gate} is not simulable by the Feynman-path simulator"
-        )
-
-
-def _apply_masked_pauli(
-    bits: np.ndarray, amps: np.ndarray, qubit: int, codes: np.ndarray
-) -> None:
-    """Apply per-row Pauli errors on ``qubit`` given integer ``codes`` per row."""
-    flip = (codes == PAULI_X) | (codes == PAULI_Y)
-    if np.any(flip):
-        # Phase of Y depends on the *pre-flip* bit value: Y|0> = i|1>, Y|1> = -i|0>.
-        y_rows = codes == PAULI_Y
-        if np.any(y_rows):
-            amps[y_rows] *= np.where(bits[y_rows, qubit], -1j, 1j)
-        bits[flip, qubit] ^= True
-    z_rows = (codes == PAULI_Z) & bits[:, qubit]
-    if np.any(z_rows):
-        amps[z_rows] *= -1.0
+__all__ = ["FeynmanPathSimulator", "QueryResult", "UnsupportedGateError"]
 
 
 @dataclass
@@ -129,7 +63,24 @@ class QueryResult:
 
 
 class FeynmanPathSimulator:
-    """Simulates basis-permutation circuits path by path (see module docstring)."""
+    """Simulates basis-permutation circuits path by path (see module docstring).
+
+    Parameters
+    ----------
+    engine:
+        Execution engine: a registered name (``"feynman-tape"``,
+        ``"feynman-interp"``, ``"statevector"``), an
+        :class:`~repro.sim.engine.Engine` instance, or ``None`` for the
+        session default (see :func:`repro.sim.engine.set_default_engine`).
+    """
+
+    def __init__(self, engine=None):
+        self.engine = engine
+
+    def _resolve_engine(self):
+        from repro.sim.engine import get_engine
+
+        return get_engine(self.engine)
 
     def validate(self, circuit: QuantumCircuit) -> None:
         """Raise :class:`UnsupportedGateError` if any gate cannot be simulated."""
@@ -142,18 +93,7 @@ class FeynmanPathSimulator:
     # ----------------------------------------------------------- noiseless run
     def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
         """Run ``circuit`` on ``state`` and return the output :class:`PathState`."""
-        if state.num_qubits != circuit.num_qubits:
-            raise ValueError(
-                f"state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
-            )
-        self.validate(circuit)
-        bits = state.bits.copy()
-        amps = state.amplitudes.copy()
-        for instr in circuit.instructions:
-            if instr.is_barrier:
-                continue
-            _apply_instruction(bits, amps, instr)
-        return PathState(bits=bits, amplitudes=amps)
+        return self._resolve_engine().run(circuit, state)
 
     # -------------------------------------------------------- noisy Monte Carlo
     def run_noisy_shots(
@@ -170,35 +110,9 @@ class FeynmanPathSimulator:
         and the matching amplitude vector.  Rows ``[s * n_paths, (s+1) * n_paths)``
         belong to shot ``s``.
         """
-        if shots <= 0:
-            raise ValueError("shots must be positive")
-        if state.num_qubits != circuit.num_qubits:
-            raise ValueError(
-                f"state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
-            )
-        self.validate(circuit)
-        rng = np.random.default_rng() if rng is None else rng
-
-        n_paths = state.num_paths
-        bits = np.tile(state.bits, (shots, 1))
-        amps = np.tile(state.amplitudes, shots).astype(complex)
-
-        noiseless = isinstance(noise, NoiselessModel)
-        for instr in circuit.instructions:
-            if instr.is_barrier:
-                continue
-            _apply_instruction(bits, amps, instr)
-            if noiseless:
-                continue
-            for qubit, channel in noise.gate_error_channels(instr):
-                if channel.is_trivial:
-                    continue
-                shot_codes = channel.sample(rng, shots)
-                if not np.any(shot_codes != PAULI_I):
-                    continue
-                row_codes = np.repeat(shot_codes, n_paths)
-                _apply_masked_pauli(bits, amps, qubit, row_codes)
-        return bits, amps
+        return self._resolve_engine().run_noisy_shots(
+            circuit, state, noise, shots, rng=rng
+        )
 
     def query_fidelities(
         self,

@@ -1,0 +1,89 @@
+"""Low-level per-instruction Feynman-path kernels.
+
+These are the building blocks of the *interpreted* execution engine
+(``"feynman-interp"`` in :mod:`repro.sim.engine`): one string-dispatched
+NumPy column update per gate, and a masked per-row Pauli application for
+Monte-Carlo noise.  The compiled engine (``"feynman-tape"``) replaces them
+with fused, opcode-dispatched group operations but must stay trajectory-
+equivalent to them; the engine-equivalence tests pin that down.
+
+Kept in their own module so both the interpreted engine and the
+:class:`~repro.sim.feynman.FeynmanPathSimulator` facade can share them
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.instruction import Instruction
+from repro.sim.noise import PAULI_X, PAULI_Y, PAULI_Z
+
+_T_PHASE = np.exp(1j * np.pi / 4)
+
+
+class UnsupportedGateError(ValueError):
+    """Raised when a circuit contains a gate that branches basis states (e.g. H)."""
+
+
+def apply_instruction(bits: np.ndarray, amps: np.ndarray, instr: Instruction) -> None:
+    """Apply one gate to every row of ``bits``/``amps`` in place."""
+    gate = instr.gate
+    q = instr.qubits
+    if gate == "I" or gate == "BARRIER":
+        return
+    if gate == "X":
+        bits[:, q[0]] ^= True
+    elif gate == "Y":
+        col = bits[:, q[0]]
+        amps *= np.where(col, -1j, 1j)
+        bits[:, q[0]] = ~col
+    elif gate == "Z":
+        amps[bits[:, q[0]]] *= -1.0
+    elif gate == "S":
+        amps[bits[:, q[0]]] *= 1j
+    elif gate == "SDG":
+        amps[bits[:, q[0]]] *= -1j
+    elif gate == "T":
+        amps[bits[:, q[0]]] *= _T_PHASE
+    elif gate == "TDG":
+        amps[bits[:, q[0]]] *= np.conj(_T_PHASE)
+    elif gate == "CX":
+        bits[:, q[1]] ^= bits[:, q[0]]
+    elif gate == "CZ":
+        amps[bits[:, q[0]] & bits[:, q[1]]] *= -1.0
+    elif gate == "SWAP":
+        a = bits[:, q[0]].copy()
+        bits[:, q[0]] = bits[:, q[1]]
+        bits[:, q[1]] = a
+    elif gate == "CCX":
+        bits[:, q[2]] ^= bits[:, q[0]] & bits[:, q[1]]
+    elif gate == "CSWAP":
+        control, a, b = q
+        diff = (bits[:, a] ^ bits[:, b]) & bits[:, control]
+        bits[:, a] ^= diff
+        bits[:, b] ^= diff
+    elif gate == "MCX":
+        controls, target = q[:-1], q[-1]
+        active = np.all(bits[:, list(controls)], axis=1)
+        bits[:, target] ^= active
+    else:
+        raise UnsupportedGateError(
+            f"gate {gate} is not simulable by the Feynman-path simulator"
+        )
+
+
+def apply_masked_pauli(
+    bits: np.ndarray, amps: np.ndarray, qubit: int, codes: np.ndarray
+) -> None:
+    """Apply per-row Pauli errors on ``qubit`` given integer ``codes`` per row."""
+    flip = (codes == PAULI_X) | (codes == PAULI_Y)
+    if np.any(flip):
+        # Phase of Y depends on the *pre-flip* bit value: Y|0> = i|1>, Y|1> = -i|0>.
+        y_rows = codes == PAULI_Y
+        if np.any(y_rows):
+            amps[y_rows] *= np.where(bits[y_rows, qubit], -1j, 1j)
+        bits[flip, qubit] ^= True
+    z_rows = (codes == PAULI_Z) & bits[:, qubit]
+    if np.any(z_rows):
+        amps[z_rows] *= -1.0

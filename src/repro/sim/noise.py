@@ -75,9 +75,21 @@ class PauliChannel:
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Sample ``size`` Pauli codes (0=I, 1=X, 2=Y, 3=Z)."""
+        return self.sample_block(rng, 1, size)[0]
+
+    def sample_block(
+        self, rng: np.random.Generator, n_sites: int, shots: int
+    ) -> np.ndarray:
+        """Sample codes for ``n_sites`` error sites at once: ``(n_sites, shots)``.
+
+        Drawn in one ``rng.choice`` call, which consumes the generator exactly
+        like ``n_sites`` successive :meth:`sample` calls of ``shots`` codes
+        each -- the property the compiled engine relies on to reproduce the
+        interpreted engine's trajectories under a fixed seed.
+        """
         return rng.choice(
             np.array([PAULI_I, PAULI_X, PAULI_Y, PAULI_Z]),
-            size=size,
+            size=(n_sites, shots),
             p=[1.0 - self.p_total, self.p_x, self.p_y, self.p_z],
         )
 

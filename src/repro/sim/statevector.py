@@ -12,10 +12,12 @@ This simulator exists for two reasons:
    ``bench_simulator_scaling`` benchmark measures the two engines against each
    other to reproduce that claim.
 
-The implementation applies basis-permutation gates by index arithmetic and the
-remaining single-qubit gates (``H``, ``S``, ``T``, ``Y``, ``Z``) by a reshaped
-matrix product, so it supports every gate in the registry.  Qubit ``q``
-corresponds to bit ``q`` of the basis-state index (little-endian).
+The implementation executes the circuit's compiled
+:class:`~repro.circuit.ir.GateTape` -- the same IR the Feynman engines run --
+dispatching on integer opcodes: basis-permutation gates by index arithmetic
+and the remaining single-qubit gates (``H``, ``S``, ``T``, ``Y``, ``Z``) by a
+reshaped matrix product, so it supports every gate in the registry.  Qubit
+``q`` corresponds to bit ``q`` of the basis-state index (little-endian).
 """
 
 from __future__ import annotations
@@ -23,21 +25,39 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.instruction import Instruction
+from repro.circuit.ir import (
+    OP_CCX,
+    OP_CSWAP,
+    OP_CX,
+    OP_CZ,
+    OP_H,
+    OP_MCX,
+    OP_NOP,
+    OP_S,
+    OP_SDG,
+    OP_SWAP,
+    OP_T,
+    OP_TDG,
+    OP_X,
+    OP_Y,
+    OP_Z,
+    OPCODE_NAMES,
+    compile_circuit,
+)
 from repro.sim.paths import PathState
 
 _MAX_DENSE_QUBITS = 22
 
-_SINGLE_QUBIT_MATRICES = {
-    "I": np.eye(2, dtype=complex),
-    "X": np.array([[0, 1], [1, 0]], dtype=complex),
-    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
-    "H": np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2),
-    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
-    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
-    "T": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
-    "TDG": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+#: Single-qubit unitaries applied via the reshaped matrix product, by opcode.
+_OPCODE_MATRICES = {
+    OP_X: np.array([[0, 1], [1, 0]], dtype=complex),
+    OP_Y: np.array([[0, -1j], [1j, 0]], dtype=complex),
+    OP_Z: np.array([[1, 0], [0, -1]], dtype=complex),
+    OP_H: np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2),
+    OP_S: np.array([[1, 0], [0, 1j]], dtype=complex),
+    OP_SDG: np.array([[1, 0], [0, -1j]], dtype=complex),
+    OP_T: np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    OP_TDG: np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
 }
 
 
@@ -64,10 +84,13 @@ class StatevectorSimulator:
                 f"{n} qubits exceeds the dense simulation limit of {self.max_qubits}"
             )
         psi = self._initial_vector(circuit, initial_state)
-        for instr in circuit.instructions:
-            if instr.is_barrier:
+        tape = compile_circuit(circuit)
+        for group in tape.groups:
+            opcode = group.opcode
+            if opcode == OP_NOP:
                 continue
-            psi = self._apply(psi, instr, n)
+            for row in group.qubits:
+                psi = self._apply_op(psi, opcode, row)
         return psi
 
     def run_to_path_state(
@@ -103,53 +126,50 @@ class StatevectorSimulator:
             raise ValueError(f"statevector must have length {2**n}")
         return psi.copy()
 
-    def _apply(self, psi: np.ndarray, instr: Instruction, n: int) -> np.ndarray:
-        gate = instr.gate
-        qubits = instr.qubits
-        if gate in ("H",):
-            return self._apply_single_matrix(psi, _SINGLE_QUBIT_MATRICES[gate], qubits[0])
-        if gate in _SINGLE_QUBIT_MATRICES and gate != "I":
-            # Diagonal/permutation single-qubit gates could use index logic, but
-            # the matrix route is equally exact and keeps one code path.
-            return self._apply_single_matrix(psi, _SINGLE_QUBIT_MATRICES[gate], qubits[0])
+    def _apply_op(
+        self, psi: np.ndarray, opcode: int, qubits: np.ndarray
+    ) -> np.ndarray:
+        matrix = _OPCODE_MATRICES.get(opcode)
+        if matrix is not None:
+            # Diagonal/permutation single-qubit gates could use index logic,
+            # but the matrix route is equally exact and keeps one code path.
+            return self._apply_single_matrix(psi, matrix, int(qubits[0]))
         indices = np.arange(len(psi), dtype=np.int64)
-        if gate == "I":
-            return psi
-        if gate == "CX":
-            control, target = qubits
+        if opcode == OP_CX:
+            control, target = (int(q) for q in qubits)
             flip = ((indices >> control) & 1).astype(bool)
             return self._permute(psi, np.where(flip, indices ^ (1 << target), indices))
-        if gate == "CZ":
-            control, target = qubits
+        if opcode == OP_CZ:
+            control, target = (int(q) for q in qubits)
             mask = (((indices >> control) & 1) & ((indices >> target) & 1)).astype(bool)
             out = psi.copy()
             out[mask] *= -1
             return out
-        if gate == "SWAP":
-            a, b = qubits
+        if opcode == OP_SWAP:
+            a, b = (int(q) for q in qubits)
             bit_a = (indices >> a) & 1
             bit_b = (indices >> b) & 1
             differ = (bit_a ^ bit_b).astype(bool)
             swapped = indices ^ (((1 << a) | (1 << b)) * differ)
             return self._permute(psi, swapped)
-        if gate == "CCX":
-            c1, c2, target = qubits
+        if opcode == OP_CCX:
+            c1, c2, target = (int(q) for q in qubits)
             active = (((indices >> c1) & 1) & ((indices >> c2) & 1)).astype(bool)
             return self._permute(psi, np.where(active, indices ^ (1 << target), indices))
-        if gate == "CSWAP":
-            control, a, b = qubits
+        if opcode == OP_CSWAP:
+            control, a, b = (int(q) for q in qubits)
             bit_a = (indices >> a) & 1
             bit_b = (indices >> b) & 1
             active = (((indices >> control) & 1) & (bit_a ^ bit_b)).astype(bool)
             swapped = indices ^ (((1 << a) | (1 << b)) * active)
             return self._permute(psi, swapped)
-        if gate == "MCX":
-            controls, target = qubits[:-1], qubits[-1]
+        if opcode == OP_MCX:
+            controls, target = qubits[:-1], int(qubits[-1])
             active = np.ones(len(psi), dtype=bool)
             for c in controls:
-                active &= ((indices >> c) & 1).astype(bool)
+                active &= ((indices >> int(c)) & 1).astype(bool)
             return self._permute(psi, np.where(active, indices ^ (1 << target), indices))
-        raise ValueError(f"unsupported gate {gate}")
+        raise ValueError(f"unsupported gate {OPCODE_NAMES.get(opcode, opcode)}")
 
     @staticmethod
     def _permute(psi: np.ndarray, new_indices: np.ndarray) -> np.ndarray:

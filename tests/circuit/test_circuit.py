@@ -44,6 +44,23 @@ class TestBuilders:
         assert gates == ["X", "MCX", "X"]
         assert circuit.instructions[0].qubits == (1,)
 
+    def test_mcx_on_pattern_rejects_out_of_range_patterns(self):
+        # Regression: an operator-precedence bug (`a or b and c`) used to let
+        # any pattern through when there were zero controls.
+        circuit = QuantumCircuit(4)
+        with pytest.raises(ValueError, match="does not fit"):
+            circuit.mcx_on_pattern([], pattern=1, target=3)
+        with pytest.raises(ValueError, match="does not fit"):
+            circuit.mcx_on_pattern([0, 1], pattern=4, target=3)
+        with pytest.raises(ValueError, match="does not fit"):
+            circuit.mcx_on_pattern([0, 1], pattern=-1, target=3)
+        assert len(circuit) == 0
+
+    def test_mcx_on_pattern_zero_controls_fires_unconditionally(self):
+        circuit = QuantumCircuit(1)
+        circuit.mcx_on_pattern([], pattern=0, target=0)
+        assert [instr.gate for instr in circuit] == ["X"]
+
     def test_out_of_range_qubit_rejected(self):
         circuit = QuantumCircuit(2)
         with pytest.raises(ValueError):

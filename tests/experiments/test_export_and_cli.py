@@ -85,3 +85,40 @@ class TestCommandLine:
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["not-an-experiment"])
+
+    def test_seed_flag_is_forwarded_and_reproducible(self, capsys):
+        assert main(["fig9", "--quick", "--shots", "8", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig9", "--quick", "--shots", "8", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert main(["fig9", "--quick", "--shots", "8", "--seed", "8"]) == 0
+        other_seed = capsys.readouterr().out
+        assert other_seed != first
+
+    def test_engine_flag_selects_engine_and_restores_default(self, capsys):
+        from repro.sim import get_default_engine
+
+        previous = get_default_engine()
+        assert main(["fig9", "--quick", "--shots", "8", "--engine", "feynman-interp"]) == 0
+        assert "Figure 9 reproduction" in capsys.readouterr().out
+        assert get_default_engine() == previous
+
+    def test_engine_flag_matches_default_engine_output(self, capsys):
+        base = ["fig9", "--quick", "--shots", "8", "--seed", "3"]
+        assert main(base) == 0
+        compiled = capsys.readouterr().out
+        assert main(base + ["--engine", "feynman-interp"]) == 0
+        interpreted = capsys.readouterr().out
+        assert compiled == interpreted
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--engine", "warp-drive"])
+
+    def test_statevector_engine_on_noisy_figure_fails_cleanly(self, capsys):
+        # The dense engine cannot run Monte-Carlo noise: the CLI must report
+        # that as an error message, not an unhandled traceback.
+        assert main(["fig9", "--quick", "--shots", "4", "--engine", "statevector"]) == 2
+        err = capsys.readouterr().err
+        assert "Monte-Carlo" in err and "error:" in err

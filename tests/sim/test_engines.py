@@ -1,0 +1,384 @@
+"""Engine registry and cross-engine equivalence tests.
+
+The compiled tape engine replaces the interpreted Feynman-path runner on the
+reproduction's hot path, so these tests pin down the refactor's contract:
+
+* noiseless outputs agree exactly across the interpreted engine, the tape
+  engine and the dense statevector engine for every registered QRAM
+  architecture;
+* under a fixed seed the interpreted and tape engines consume the random
+  stream identically and therefore produce **bit-identical** Monte-Carlo
+  shot fidelities;
+* fused execution is equivalent to sequential execution on circuits designed
+  to stress the fusion rules (overlapping runs, diagonal runs, identity
+  gates carrying noise sites, variable-arity MCX).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import QuantumCircuit
+from repro.qram import ClassicalMemory, make_architecture
+from repro.sim import (
+    DepolarizingNoise,
+    Engine,
+    FeynmanPathSimulator,
+    GateNoiseModel,
+    NoiselessModel,
+    PathState,
+    PauliChannel,
+    UnsupportedGateError,
+    available_engines,
+    get_default_engine,
+    get_engine,
+    set_default_engine,
+)
+from tests.conftest import random_reversible_circuits
+
+ARCHITECTURE_NAMES = ["virtual", "sqc_bb", "sqc_ss", "fanout", "sqc"]
+
+NOISE_MODELS = [
+    GateNoiseModel(PauliChannel.phase_flip(5e-3)),
+    GateNoiseModel(PauliChannel.bit_flip(5e-3)),
+    DepolarizingNoise(1e-2),
+    GateNoiseModel(PauliChannel.depolarizing(1e-2), two_qubit_factor=2.0),
+]
+
+
+@pytest.fixture
+def memory() -> ClassicalMemory:
+    return ClassicalMemory.from_values([1, 0, 1, 1, 0, 0, 1, 0])
+
+
+def _amplitudes_match(a: PathState, b: PathState, tol: float = 1e-9) -> bool:
+    left, right = a.as_dict(), b.as_dict()
+    if set(left) != set(right):
+        return False
+    return all(abs(left[key] - right[key]) < tol for key in left)
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert {"feynman-interp", "feynman-tape", "statevector"} <= set(
+            available_engines()
+        )
+
+    def test_get_engine_by_name_and_instance(self):
+        engine = get_engine("feynman-tape")
+        assert isinstance(engine, Engine)
+        assert get_engine(engine) is engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError, match="unknown engine"):
+            get_engine("not-an-engine")
+
+    def test_default_engine_roundtrip(self):
+        previous = get_default_engine()
+        try:
+            set_default_engine("feynman-interp")
+            assert get_engine().name == "feynman-interp"
+        finally:
+            set_default_engine(previous)
+        assert get_default_engine() == previous
+
+    def test_default_engine_is_compiled(self):
+        assert get_default_engine() == "feynman-tape"
+
+    def test_set_unknown_default_rejected(self):
+        with pytest.raises(KeyError):
+            set_default_engine("bogus")
+
+
+@pytest.mark.parametrize("architecture_name", ARCHITECTURE_NAMES)
+class TestArchitectureEquivalence:
+    def test_noiseless_outputs_agree(self, architecture_name, memory):
+        architecture = make_architecture(architecture_name, memory, qram_width=2)
+        circuit = architecture.build_circuit()
+        state = architecture.input_state()
+        interp = get_engine("feynman-interp").run(circuit, state)
+        tape = get_engine("feynman-tape").run(circuit, state)
+        dense = get_engine("statevector").run(circuit, state)
+        # Interpreted vs tape keep the same path layout: exact equality.
+        assert np.array_equal(interp.bits, tape.bits)
+        assert np.array_equal(interp.amplitudes, tape.amplitudes)
+        # The dense engine merges paths per basis state: compare as dicts.
+        assert _amplitudes_match(interp, dense)
+
+    @pytest.mark.parametrize("noise", NOISE_MODELS)
+    def test_noisy_shot_fidelities_bit_identical(
+        self, architecture_name, memory, noise
+    ):
+        architecture = make_architecture(architecture_name, memory, qram_width=2)
+        results = {}
+        for engine in ("feynman-interp", "feynman-tape"):
+            results[engine] = architecture.run_query(
+                noise, shots=32, rng=np.random.default_rng(11), engine=engine
+            )
+        assert np.array_equal(
+            results["feynman-interp"].fidelities,
+            results["feynman-tape"].fidelities,
+        )
+
+    def test_statevector_engine_noiseless_query(self, architecture_name, memory):
+        architecture = make_architecture(architecture_name, memory, qram_width=2)
+        result = architecture.run_query(None, shots=4, engine="statevector")
+        assert result.fidelities == pytest.approx(np.ones(4))
+
+
+class TestFusionStress:
+    """Crafted circuits exercising the tape compiler's fusion rules."""
+
+    def _compare(self, circuit: QuantumCircuit, state: PathState) -> None:
+        interp = get_engine("feynman-interp").run(circuit, state)
+        tape = get_engine("feynman-tape").run(circuit, state)
+        assert np.array_equal(interp.bits, tape.bits)
+        assert np.allclose(interp.amplitudes, tape.amplitudes, atol=1e-12)
+
+    def test_overlapping_cx_chain(self):
+        # Sequential CX chain sharing qubits: must not fuse into one batch.
+        circuit = QuantumCircuit(4)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        state = PathState.register_superposition(4, register=[0])
+        self._compare(circuit, state)
+
+    def test_parallel_then_overlapping_swaps(self):
+        circuit = QuantumCircuit(6)
+        circuit.swap(0, 1)
+        circuit.swap(2, 3)
+        circuit.swap(4, 5)  # disjoint run
+        circuit.swap(1, 2)  # overlaps the run
+        circuit.swap(0, 5)
+        state = PathState.register_superposition(6, register=[0, 2, 4])
+        self._compare(circuit, state)
+
+    def test_diagonal_runs_accumulate_phases(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.x(q)
+        for q in range(4):
+            circuit.s(q)
+        for q in range(4):
+            circuit.t(q)
+        for q in range(4):
+            circuit.z(q)
+        circuit.sdg(1)
+        circuit.tdg(2)
+        state = PathState.register_superposition(4, register=[0, 1])
+        self._compare(circuit, state)
+
+    def test_y_run_phase_bookkeeping(self):
+        circuit = QuantumCircuit(3)
+        circuit.y(0)
+        circuit.y(1)
+        circuit.y(2)
+        circuit.y(0)  # second run after overlap
+        state = PathState.register_superposition(3, register=[0, 2])
+        self._compare(circuit, state)
+
+    def test_mcx_arities_not_mixed(self):
+        circuit = QuantumCircuit(8)
+        circuit.mcx([0, 1, 2], 3)
+        circuit.mcx([4, 5], 6)  # CCX, different opcode
+        circuit.mcx([0, 1, 4], 7)  # same arity as first but overlapping
+        state = PathState.register_superposition(8, register=[0, 1, 2, 4, 5])
+        self._compare(circuit, state)
+
+    def test_cz_and_mixed_permutations(self):
+        circuit = QuantumCircuit(5)
+        circuit.cz(0, 1)
+        circuit.cz(2, 3)
+        circuit.ccx(0, 1, 4)
+        circuit.cswap(0, 2, 3)
+        circuit.cz(0, 4)
+        state = PathState.register_superposition(5, register=[0, 1, 2])
+        self._compare(circuit, state)
+
+    def test_identity_gates_keep_their_noise_sites(self):
+        # I gates execute nothing but still trigger gate-based noise, and the
+        # error must land *between* the surrounding gates, not after them.
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.i(0)
+        circuit.cx(0, 1)
+        state = PathState.from_basis_assignments([({}, 1.0)], 2)
+        noise = GateNoiseModel(PauliChannel.bit_flip(0.5))
+        for seed in range(5):
+            blocks = [
+                get_engine(name).run_noisy_shots(
+                    circuit, state, noise, 16, rng=np.random.default_rng(seed)
+                )
+                for name in ("feynman-interp", "feynman-tape")
+            ]
+            assert np.array_equal(blocks[0][0], blocks[1][0])
+            assert np.array_equal(blocks[0][1], blocks[1][1])
+
+    def test_offsite_noise_inside_fused_run_rejected(self):
+        # A crosstalk-style model placing an error on a qubit the fused run
+        # touches later cannot be ordered by the compiled engine: it must
+        # refuse loudly (the interpreted engine still handles it).
+        from repro.sim import NoiseModel
+
+        class CrosstalkNoise(NoiseModel):
+            def gate_error_channels(self, instr):
+                if instr.gate == "CX" and instr.qubits == (0, 1):
+                    return [(2, PauliChannel(p_x=1.0))]
+                return []
+
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)  # fuses with the first CX and touches qubit 2
+        state = PathState.from_basis_assignments([({}, 1.0)], 4)
+        interp_bits, _ = get_engine("feynman-interp").run_noisy_shots(
+            circuit, state, CrosstalkNoise(), 2, rng=np.random.default_rng(0)
+        )
+        assert np.array_equal(
+            interp_bits.astype(int), [[0, 0, 1, 1], [0, 0, 1, 1]]
+        )
+        with pytest.raises(ValueError, match="feynman-interp"):
+            get_engine("feynman-tape").run_noisy_shots(
+                circuit, state, CrosstalkNoise(), 2, rng=np.random.default_rng(0)
+            )
+
+    def test_offsite_noise_outside_fused_run_still_agrees(self):
+        # Off-operand sites are fine when no later gate in the group touches
+        # the qubit: the deferred application commutes.
+        from repro.sim import NoiseModel
+
+        class SpectatorNoise(NoiseModel):
+            def gate_error_channels(self, instr):
+                if instr.gate == "CX" and instr.qubits == (0, 1):
+                    return [(3, PauliChannel(p_x=1.0))]
+                return []
+
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)  # overlaps: new group, so qubit 3 is never mid-run
+        state = PathState.from_basis_assignments([({}, 1.0)], 4)
+        blocks = [
+            get_engine(name).run_noisy_shots(
+                circuit, state, SpectatorNoise(), 2, rng=np.random.default_rng(0)
+            )
+            for name in ("feynman-interp", "feynman-tape")
+        ]
+        assert np.array_equal(blocks[0][0], blocks[1][0])
+
+    def test_barriers_are_dropped(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        state = PathState.from_basis_assignments([({}, 1.0)], 3)
+        self._compare(circuit, state)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(circuit=random_reversible_circuits())
+    def test_random_circuits_noiseless(self, circuit):
+        state = PathState.register_superposition(
+            circuit.num_qubits, register=list(range(min(3, circuit.num_qubits)))
+        )
+        interp = get_engine("feynman-interp").run(circuit, state)
+        tape = get_engine("feynman-tape").run(circuit, state)
+        assert np.array_equal(interp.bits, tape.bits)
+        assert np.array_equal(interp.amplitudes, tape.amplitudes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=random_reversible_circuits(max_qubits=5, max_gates=15))
+    def test_random_circuits_noisy_trajectories(self, circuit):
+        state = PathState.register_superposition(
+            circuit.num_qubits, register=[0, 1]
+        )
+        noise = GateNoiseModel(PauliChannel.depolarizing(0.05))
+        blocks = [
+            get_engine(name).run_noisy_shots(
+                circuit, state, noise, 8, rng=np.random.default_rng(99)
+            )
+            for name in ("feynman-interp", "feynman-tape")
+        ]
+        assert np.array_equal(blocks[0][0], blocks[1][0])
+        assert np.array_equal(blocks[0][1], blocks[1][1])
+
+
+class TestEngineErrors:
+    def test_feynman_engines_reject_branching_gates(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = PathState.from_basis_assignments([({}, 1.0)], 1)
+        for name in ("feynman-interp", "feynman-tape"):
+            with pytest.raises(UnsupportedGateError, match="gate H"):
+                get_engine(name).run(circuit, state)
+
+    def test_statevector_engine_rejects_branching_shot_blocks(self):
+        # With H the dense output has more paths than the input, which the
+        # per-shot block contract cannot represent; a silent wrong answer
+        # here once produced fidelities of 0.25 instead of 1.0.
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = PathState.from_basis_assignments([({}, 1.0)], 1)
+        with pytest.raises(NotImplementedError, match="branching"):
+            get_engine("statevector").run_noisy_shots(
+                circuit, state, NoiselessModel(), 3
+            )
+
+    def test_statevector_engine_pads_merged_paths(self):
+        # Two input paths that a SWAP maps onto states which the dense
+        # engine merges into fewer rows: fidelities must still be exact.
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        state = PathState.from_basis_assignments(
+            [({0: 1}, np.sqrt(0.5)), ({1: 1}, np.sqrt(0.5))], 2
+        )
+        result = FeynmanPathSimulator(engine="statevector").query_fidelities(
+            circuit, state, NoiselessModel(), shots=3
+        )
+        assert result.fidelities == pytest.approx(np.ones(3))
+
+    def test_statevector_engine_rejects_noise(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        state = PathState.from_basis_assignments([({}, 1.0)], 1)
+        noise = GateNoiseModel(PauliChannel.bit_flip(0.1))
+        with pytest.raises(NotImplementedError, match="Monte-Carlo"):
+            get_engine("statevector").run_noisy_shots(circuit, state, noise, 4)
+
+    def test_qubit_count_mismatch_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = PathState.from_basis_assignments([({}, 1.0)], 3)
+        for name in ("feynman-interp", "feynman-tape", "statevector"):
+            with pytest.raises(ValueError, match="qubits"):
+                get_engine(name).run(circuit, state)
+
+    def test_engines_do_not_mutate_input_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.y(1)
+        state = PathState.from_basis_assignments([({}, 1.0)], 2)
+        before_bits = state.bits.copy()
+        before_amps = state.amplitudes.copy()
+        for name in ("feynman-interp", "feynman-tape", "statevector"):
+            get_engine(name).run(circuit, state)
+            assert np.array_equal(state.bits, before_bits)
+            assert np.array_equal(state.amplitudes, before_amps)
+
+
+class TestFacade:
+    def test_simulator_accepts_engine_instances(self, memory):
+        architecture = make_architecture("virtual", memory, qram_width=2)
+        circuit = architecture.build_circuit()
+        state = architecture.input_state()
+        engine = get_engine("feynman-tape")
+        out = FeynmanPathSimulator(engine=engine).run(circuit, state)
+        assert _amplitudes_match(out, FeynmanPathSimulator().run(circuit, state))
+
+    def test_default_engine_change_affects_existing_simulators(self):
+        simulator = FeynmanPathSimulator()
+        previous = get_default_engine()
+        try:
+            set_default_engine("feynman-interp")
+            assert simulator._resolve_engine().name == "feynman-interp"
+        finally:
+            set_default_engine(previous)
