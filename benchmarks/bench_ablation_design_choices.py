@@ -5,7 +5,6 @@ ingredient of the virtual QRAM (or of the compilation layer) and measures what
 it costs, quantifying why the ingredient is part of the design.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.experiments.common import format_table, random_memory

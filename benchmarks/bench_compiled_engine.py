@@ -15,11 +15,14 @@ Run standalone for a quick speedup table::
 or through the benchmark harness (``pytest benchmarks/ --benchmark-only``).
 ``--report-only`` downgrades a missed speedup target from failure to a
 warning (used in CI, where shared-runner wall-clock timing is unreliable);
-the trajectory bit-identity check always gates.
+the trajectory bit-identity check always gates.  ``--json PATH`` writes the
+measurements (including the gated speedup) for
+``benchmarks/check_regression.py`` to compare against the committed baseline.
 Both engines consume the random stream identically, so the standalone runner
 also cross-checks that their shot fidelities are bit-for-bit equal.
 """
 
+import json
 import time
 
 import numpy as np
@@ -74,7 +77,7 @@ def bench_tape_engine_noiseless_m6(benchmark):
     assert output.num_paths == 64
 
 
-def main(gate_speedup: bool = True) -> int:
+def main(gate_speedup: bool = True, json_path: str | None = None) -> int:
     architecture, compiled, noise = _workload()
     tape = compiled.tape
     print(
@@ -104,6 +107,25 @@ def main(gate_speedup: bool = True) -> int:
     ]
     print(format_table(["engine", "best of 5 (ms)", "speedup"], rows))
     print(f"trajectories bit-identical: bits={same_bits} amps={same_amps}")
+    if json_path:
+        payload = {
+            "benchmark": "compiled_engine",
+            "workload": {
+                "m": M,
+                "shots": SHOTS,
+                "epsilon": EPSILON,
+                "qubits": compiled.circuit.num_qubits,
+                "gates": tape.num_gates,
+                "groups": tape.num_groups,
+            },
+            "timings_seconds": dict(timings),
+            "bit_identical": bool(same_bits and same_amps),
+            "gates": {"tape_vs_interp_speedup": speedup},
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {json_path}")
     if not (same_bits and same_amps):
         print("FAIL: engines disagree")
         return 1
@@ -126,6 +148,19 @@ def _timed(name, compiled, noise) -> float:
 
 
 if __name__ == "__main__":
-    import sys
+    import argparse
 
-    raise SystemExit(main(gate_speedup="--report-only" not in sys.argv[1:]))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="warn instead of failing when the speedup target is missed "
+        "(bit-identity always gates)",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, help="write measurements to this path"
+    )
+    cli_args = parser.parse_args()
+    raise SystemExit(
+        main(gate_speedup=not cli_args.report_only, json_path=cli_args.json)
+    )

@@ -12,7 +12,6 @@ reaches the m = 6..8 sizes used in Figures 9-11.
 import time
 
 import numpy as np
-import pytest
 from conftest import emit
 
 from repro.experiments.common import format_table, random_memory

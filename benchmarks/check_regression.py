@@ -1,0 +1,76 @@
+"""Gate benchmark JSON output against a committed baseline.
+
+Every benchmark that supports ``--json`` emits a ``"gates"`` object of
+higher-is-better metrics (speedups).  This checker compares a fresh run
+against the baseline committed under ``benchmarks/baselines/`` and fails when
+any gated metric regressed by more than the tolerance (default 20%).
+
+Only *relative* metrics are gated: absolute wall-clock depends on the runner
+hardware, but a speedup ratio measures both sides on the same machine, which
+is what makes the comparison meaningful across dev boxes and CI runners.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def check(
+    current: dict, baseline: dict, tolerance: float
+) -> list[tuple[str, float, float]]:
+    """Return ``(metric, current, floor)`` for every gated metric that regressed."""
+    regressions = []
+    for metric, reference in baseline.get("gates", {}).items():
+        measured = current.get("gates", {}).get(metric)
+        if measured is None:
+            regressions.append((metric, float("nan"), reference * (1.0 - tolerance)))
+            continue
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            regressions.append((metric, measured, floor))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="JSON written by a fresh benchmark run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression before failing (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    name = baseline.get("benchmark", args.baseline)
+    regressions = check(current, baseline, args.tolerance)
+    for metric, reference in baseline.get("gates", {}).items():
+        measured = current.get("gates", {}).get(metric, float("nan"))
+        print(
+            f"[{name}] {metric}: current={measured:.3f} baseline={reference:.3f} "
+            f"floor={reference * (1.0 - args.tolerance):.3f}"
+        )
+    if regressions:
+        for metric, measured, floor in regressions:
+            print(
+                f"FAIL: [{name}] {metric} regressed more than "
+                f"{args.tolerance:.0%}: {measured:.3f} < {floor:.3f}",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"OK: [{name}] no gated metric regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

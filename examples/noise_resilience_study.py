@@ -22,7 +22,6 @@ import numpy as np
 from repro import ClassicalMemory, VirtualQRAM
 from repro.analysis import (
     qram_x_fidelity_bound,
-    qram_z_fidelity_bound,
     virtual_z_fidelity_bound,
     z_error_locality_fraction,
 )

@@ -18,7 +18,6 @@ invalidated by the Monte-Carlo simulation (the planner tests check this).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.analysis.fidelity import (

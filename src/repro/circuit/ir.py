@@ -144,10 +144,35 @@ class NoiseSiteTable:
     qubit: np.ndarray  # (n_sites,) int32
     group_index: np.ndarray  # (n_sites,) int32: group after which the site fires
     channels: tuple  # (n_sites,) PauliChannel per site
+    _run_cache: tuple | None = field(
+        default=None, repr=False, compare=False
+    )  # lazily computed (start, stop, channel) runs
 
     @property
     def n_sites(self) -> int:
         return len(self.channels)
+
+    def _channel_runs(self) -> tuple:
+        """Maximal runs of consecutive equal channels: ``(start, stop, channel)``.
+
+        Computed once per table (the table itself is memoized per noise
+        model) so every per-shot draw walks a handful of runs instead of
+        comparing channels site by site.
+        """
+        if self._run_cache is None:
+            runs: list[tuple[int, int, "PauliChannel"]] = []
+            start = 0
+            n = self.n_sites
+            channels = self.channels
+            while start < n:
+                channel = channels[start]
+                stop = start + 1
+                while stop < n and channels[stop] == channel:
+                    stop += 1
+                runs.append((start, stop, channel))
+                start = stop
+            object.__setattr__(self, "_run_cache", tuple(runs))
+        return self._run_cache
 
     def draw(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         """Draw Pauli codes for every site: shape ``(n_sites, shots)``.
@@ -159,16 +184,35 @@ class NoiseSiteTable:
         if self.n_sites == 0:
             return np.empty((0, shots), dtype=np.int64)
         codes = np.empty((self.n_sites, shots), dtype=np.int64)
-        start = 0
-        channels = self.channels
-        n = self.n_sites
-        while start < n:
-            channel = channels[start]
-            stop = start + 1
-            while stop < n and channels[stop] == channel:
-                stop += 1
+        for start, stop, channel in self._channel_runs():
             codes[start:stop] = channel.sample_block(rng, stop - start, shots)
-            start = stop
+        return codes
+
+    def draw_shot(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one shot's Pauli codes from its own generator: ``(n_sites,)``.
+
+        This is the per-shot seeded mode used by deterministic sharding
+        (:class:`repro.sim.seeding.ShotSeeds`): the codes for a shot depend
+        only on that shot's generator, so any partition of a shot range into
+        shards reproduces the unsharded batch exactly.  Sites are drawn in
+        execution order via the threshold sampler, one ``rng.random`` value
+        per site.
+        """
+        codes = np.empty(self.n_sites, dtype=np.int64)
+        for start, stop, channel in self._channel_runs():
+            codes[start:stop] = channel.sample_thresholded(rng, stop - start)
+        return codes
+
+    def draw_per_shot(self, seeds, shots: int) -> np.ndarray:
+        """Draw codes for ``shots`` independently seeded shots: ``(n_sites, shots)``.
+
+        ``seeds`` is a :class:`repro.sim.seeding.ShotSeeds` window; column
+        ``s`` is :meth:`draw_shot` under the stream of absolute shot
+        ``seeds.start + s``.
+        """
+        codes = np.empty((self.n_sites, shots), dtype=np.int64)
+        for shot in range(shots):
+            codes[:, shot] = self.draw_shot(seeds.generator(shot))
         return codes
 
 

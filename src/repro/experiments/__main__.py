@@ -46,33 +46,45 @@ from repro.sim.engine import available_engines, get_default_engine, set_default_
 # Each wrapper runs its sweep exactly once and renders the report from the
 # same records, so a CLI invocation pays for one Monte-Carlo pass, not two.
 def _table1(args) -> tuple[str, list[dict]]:
-    records = run_table1(args.m, args.k, seed=args.seed)
+    records = run_table1(args.m, args.k, seed=args.seed, workers=args.workers)
     return table1_report(m=args.m, k=args.k, records=records), records
 
 
 def _table2(args) -> tuple[str, list[dict]]:
     configurations = [(2, 1), (3, 2)] if args.quick else [(2, 1), (3, 2), (4, 3)]
-    records = run_table2(configurations, seed=args.seed)
+    records = run_table2(configurations, seed=args.seed, workers=args.workers)
     return table2_report(configurations, records=records), records
 
 
 def _fig8(args) -> tuple[str, list[dict]]:
     widths = tuple(range(1, 7)) if args.quick else tuple(range(1, 10))
-    records = run_fig8(widths, seed=args.seed)
+    records = run_fig8(widths, seed=args.seed, workers=args.workers)
     return fig8_report(widths, records=records), records
 
 
 def _fig9(args) -> tuple[str, list[dict]]:
     widths = (1, 2, 3, 4) if args.quick else (1, 2, 3, 4, 5, 6)
     shots = args.shots or (128 if args.quick else 1024)
-    records = run_fig9(widths, shots=shots, seed=args.seed)
+    records = run_fig9(
+        widths,
+        shots=shots,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
     return fig9_report(widths, shots=shots, records=records), records
 
 
 def _fig10(args) -> tuple[str, list[dict]]:
     widths = (1, 2, 3) if args.quick else (1, 2, 3, 4, 5, 6)
     shots = args.shots or (128 if args.quick else 1024)
-    records = run_fig10(widths, shots=shots, seed=args.seed)
+    records = run_fig10(
+        widths,
+        shots=shots,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
     return fig10_report(widths, shots=shots, records=records), records
 
 
@@ -80,13 +92,25 @@ def _fig11(args) -> tuple[str, list[dict]]:
     qram_widths = (1, 2) if args.quick else (1, 2, 3, 4)
     sqc_widths = (0, 1, 2) if args.quick else (0, 1, 2, 3)
     shots = args.shots or (128 if args.quick else 512)
-    records = run_fig11(qram_widths, sqc_widths, shots=shots, seed=args.seed)
+    records = run_fig11(
+        qram_widths,
+        sqc_widths,
+        shots=shots,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
     return fig11_report(qram_widths, sqc_widths, shots=shots, records=records), records
 
 
 def _fig12(args) -> tuple[str, list[dict]]:
     shots = args.shots or (100 if args.quick else 200)
-    records = run_fig12(shots=shots, seed=args.seed)
+    records = run_fig12(
+        shots=shots,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
     return fig12_report(shots=shots, records=records), records
 
 
@@ -130,6 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
         "'feynman-tape' engine)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sharded sweeps (1 = serial, 0 = all cores; "
+        "default: the REPRO_SWEEP_WORKERS environment variable, else 1). "
+        "Deterministic seed-splitting makes the artefacts bit-identical for "
+        "every worker count",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="Monte-Carlo shots per work unit (scheduling granularity only; "
+        "results are bit-identical for every shard size)",
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default=None,
@@ -156,16 +196,35 @@ def main(argv: list[str] | None = None) -> int:
     previous_engine = get_default_engine()
     if args.engine is not None:
         set_default_engine(args.engine)
+    run_all = args.experiment == "all"
+    names = sorted(EXPERIMENTS) if run_all else [args.experiment]
+    failures: list[str] = []
     try:
-        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         for name in names:
-            run_experiment(name, args)
-    except NotImplementedError as exc:
-        # e.g. --engine statevector on a Monte-Carlo figure.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+            try:
+                run_experiment(name, args)
+            except NotImplementedError as exc:
+                # e.g. --engine statevector on a Monte-Carlo figure.
+                print(f"error: [{name}] {exc}", file=sys.stderr)
+                if not run_all:
+                    return 2
+                failures.append(name)
+            except Exception as exc:
+                if not run_all:
+                    raise
+                # 'all' keeps going so one broken experiment does not hide
+                # the rest -- but the failure must surface in the exit code.
+                print(f"error: [{name}] failed: {exc}", file=sys.stderr)
+                failures.append(name)
     finally:
         set_default_engine(previous_engine)
+    if failures:
+        print(
+            f"error: {len(failures)} of {len(names)} experiments failed: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -18,6 +18,16 @@ def experiment_rng(seed: int | None = None) -> np.random.Generator:
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
+def resolve_seed(seed: int | None = None) -> int:
+    """The concrete integer seed an experiment sweep is keyed on.
+
+    The sweep runner derives every shot's random stream from
+    ``(seed, point_index, shot_index)``, so it needs the project-wide
+    default made explicit rather than a ``None`` passed through.
+    """
+    return DEFAULT_SEED if seed is None else seed
+
+
 def random_memory(
     address_width: int, seed: int | None = None, p_one: float = 0.5
 ) -> ClassicalMemory:

@@ -10,10 +10,16 @@ for larger ``m`` require proportionally larger ``eps_r`` to saturate.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+import numpy as np
+
 from repro.analysis.fidelity import qram_x_fidelity_bound, qram_z_fidelity_bound
-from repro.experiments.common import experiment_rng, format_table, random_memory
+from repro.experiments.common import format_table, random_memory, resolve_seed
 from repro.qram.virtual_qram import VirtualQRAM
+from repro.sim.engine import get_default_engine
 from repro.sim.noise import GateNoiseModel, PauliChannel
+from repro.sweep import ShotShard, SweepRunner
 
 DEFAULT_WIDTHS: tuple[int, ...] = (1, 2, 3, 4, 5, 6)
 DEFAULT_REDUCTION_FACTORS: tuple[float, ...] = (0.1, 1.0, 10.0, 100.0, 1000.0)
@@ -26,6 +32,24 @@ ERROR_CHANNELS = {
 }
 
 
+@lru_cache(maxsize=64)
+def _fig10_architecture(m: int, seed: int) -> VirtualQRAM:
+    """Process-local build cache: every (error, factor) point of a width
+    shares one compiled circuit, in workers and in the serial path alike."""
+    return VirtualQRAM(memory=random_memory(m, seed), qram_width=m)
+
+
+def _fig10_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Per-shard fidelities for one (error, width, reduction factor) point."""
+    error_name, m, epsilon, seed, engine = spec
+    architecture = _fig10_architecture(m, seed)
+    noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
+    result = architecture.run_query(
+        noise, shard.shots, rng=shard.seeds(), engine=engine
+    )
+    return result.fidelities
+
+
 def run_fig10(
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
     reduction_factors: tuple[float, ...] = DEFAULT_REDUCTION_FACTORS,
@@ -34,37 +58,45 @@ def run_fig10(
     shots: int = DEFAULT_SHOTS,
     errors: tuple[str, ...] = ("Z", "X"),
     seed: int | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
 ) -> list[dict[str, object]]:
     """Fidelity records for every (error, width, reduction factor) triple."""
+    seed_value = resolve_seed(seed)
+    engine = get_default_engine()
+    points = [
+        (error_name, m, factor)
+        for m in widths
+        for error_name in errors
+        for factor in reduction_factors
+    ]
+    specs = [
+        (error_name, m, base_epsilon / factor, seed_value, engine)
+        for error_name, m, factor in points
+    ]
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    merged = runner.map_shards(_fig10_shard, specs, shots=shots, seed=seed_value)
     records: list[dict[str, object]] = []
-    for m in widths:
-        memory = random_memory(m, seed)
-        architecture = VirtualQRAM(memory=memory, qram_width=m)
-        for error_name in errors:
-            for factor in reduction_factors:
-                epsilon = base_epsilon / factor
-                noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
-                result = architecture.run_query(
-                    noise, shots, rng=experiment_rng(seed)
-                )
-                bound = (
-                    qram_z_fidelity_bound(epsilon, m)
-                    if error_name == "Z"
-                    else qram_x_fidelity_bound(epsilon, m)
-                )
-                records.append(
-                    {
-                        "error": error_name,
-                        "m": m,
-                        "k": 0,
-                        "error_reduction_factor": factor,
-                        "epsilon": epsilon,
-                        "shots": shots,
-                        "fidelity": result.mean_fidelity,
-                        "std_error": result.std_error,
-                        "analytic_bound": bound,
-                    }
-                )
+    for (error_name, m, factor), result in zip(points, merged):
+        epsilon = base_epsilon / factor
+        bound = (
+            qram_z_fidelity_bound(epsilon, m)
+            if error_name == "Z"
+            else qram_x_fidelity_bound(epsilon, m)
+        )
+        records.append(
+            {
+                "error": error_name,
+                "m": m,
+                "k": 0,
+                "error_reduction_factor": factor,
+                "epsilon": epsilon,
+                "shots": shots,
+                "fidelity": result.mean_fidelity,
+                "std_error": result.std_error,
+                "analytic_bound": bound,
+            }
+        )
     return records
 
 

@@ -11,10 +11,16 @@ the physical QRAM as large as the hardware allows.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+import numpy as np
+
 from repro.analysis.fidelity import virtual_x_fidelity_bound, virtual_z_fidelity_bound
-from repro.experiments.common import experiment_rng, format_table, random_memory
+from repro.experiments.common import format_table, random_memory, resolve_seed
 from repro.qram.virtual_qram import VirtualQRAM
+from repro.sim.engine import get_default_engine
 from repro.sim.noise import GateNoiseModel, PauliChannel
+from repro.sweep import ShotShard, SweepRunner
 
 DEFAULT_QRAM_WIDTHS: tuple[int, ...] = (1, 2, 3, 4)
 DEFAULT_SQC_WIDTHS: tuple[int, ...] = (0, 1, 2, 3)
@@ -28,6 +34,23 @@ ERROR_CHANNELS = {
 }
 
 
+@lru_cache(maxsize=64)
+def _fig11_architecture(m: int, k: int, seed: int) -> VirtualQRAM:
+    """Process-local build cache keyed on the (m, k) design point."""
+    return VirtualQRAM(memory=random_memory(m + k, seed), qram_width=m)
+
+
+def _fig11_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Per-shard fidelities for one (m, k, error, factor) sweep point."""
+    m, k, error_name, epsilon, seed, engine = spec
+    architecture = _fig11_architecture(m, k, seed)
+    noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
+    result = architecture.run_query(
+        noise, shard.shots, rng=shard.seeds(), engine=engine
+    )
+    return result.fidelities
+
+
 def run_fig11(
     qram_widths: tuple[int, ...] = DEFAULT_QRAM_WIDTHS,
     sqc_widths: tuple[int, ...] = DEFAULT_SQC_WIDTHS,
@@ -37,38 +60,46 @@ def run_fig11(
     shots: int = DEFAULT_SHOTS,
     errors: tuple[str, ...] = ("Z", "X"),
     seed: int | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
 ) -> list[dict[str, object]]:
     """Fidelity records over the (m, k) plane for each error channel and eps_r."""
+    seed_value = resolve_seed(seed)
+    engine = get_default_engine()
+    points = [
+        (m, k, error_name, factor)
+        for m in qram_widths
+        for k in sqc_widths
+        for error_name in errors
+        for factor in reduction_factors
+    ]
+    specs = [
+        (m, k, error_name, base_epsilon / factor, seed_value, engine)
+        for m, k, error_name, factor in points
+    ]
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    merged = runner.map_shards(_fig11_shard, specs, shots=shots, seed=seed_value)
     records: list[dict[str, object]] = []
-    for m in qram_widths:
-        for k in sqc_widths:
-            memory = random_memory(m + k, seed)
-            architecture = VirtualQRAM(memory=memory, qram_width=m)
-            for error_name in errors:
-                for factor in reduction_factors:
-                    epsilon = base_epsilon / factor
-                    noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
-                    result = architecture.run_query(
-                        noise, shots, rng=experiment_rng(seed)
-                    )
-                    bound = (
-                        virtual_z_fidelity_bound(epsilon, m, k)
-                        if error_name == "Z"
-                        else virtual_x_fidelity_bound(epsilon, m, k)
-                    )
-                    records.append(
-                        {
-                            "error": error_name,
-                            "m": m,
-                            "k": k,
-                            "error_reduction_factor": factor,
-                            "epsilon": epsilon,
-                            "shots": shots,
-                            "fidelity": result.mean_fidelity,
-                            "std_error": result.std_error,
-                            "analytic_bound": bound,
-                        }
-                    )
+    for (m, k, error_name, factor), result in zip(points, merged):
+        epsilon = base_epsilon / factor
+        bound = (
+            virtual_z_fidelity_bound(epsilon, m, k)
+            if error_name == "Z"
+            else virtual_x_fidelity_bound(epsilon, m, k)
+        )
+        records.append(
+            {
+                "error": error_name,
+                "m": m,
+                "k": k,
+                "error_reduction_factor": factor,
+                "epsilon": epsilon,
+                "shots": shots,
+                "fidelity": result.mean_fidelity,
+                "std_error": result.std_error,
+                "analytic_bound": bound,
+            }
+        )
     return records
 
 

@@ -17,13 +17,18 @@ scaled by an error-reduction factor ``eps_r``.  The observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.experiments.common import experiment_rng, format_table, random_memory
+import numpy as np
+
+from repro.experiments.common import format_table, random_memory, resolve_seed
 from repro.hardware.devices import DEVICES, DeviceModel
 from repro.hardware.noise_model import device_noise_model
 from repro.hardware.router import GreedySwapRouter
 from repro.qram.virtual_qram import VirtualQRAM
+from repro.sim.engine import get_default_engine
 from repro.sim.feynman import FeynmanPathSimulator
+from repro.sweep import ShotShard, SweepRunner
 
 DEFAULT_REDUCTION_FACTORS: tuple[float, ...] = (0.1, 1.0, 10.0, 100.0, 1000.0)
 DEFAULT_SHOTS = 200
@@ -61,49 +66,85 @@ def route_configuration(
     return architecture, routed
 
 
+@lru_cache(maxsize=16)
+def _fig12_bundle(configuration: HardwareConfiguration, seed: int):
+    """Route one configuration and precompute everything the shards share.
+
+    Returns ``(routed, physical_input, physical_ideal, keep_qubits)``.
+    Routing plus state mapping dominates the small fig12 workloads, so the
+    bundle is cached per process: every (configuration, eps_r) shard that
+    lands on a worker reuses its build.
+    """
+    architecture, routed = route_configuration(configuration, seed=seed)
+    logical_input = architecture.input_state()
+    physical_input = routed.map_state(logical_input, final=False)
+    physical_ideal = routed.map_state(
+        architecture.ideal_output(logical_input), final=True
+    )
+    keep = routed.physical_qubits(architecture.kept_qubits(), final=True)
+    return routed, physical_input, physical_ideal, keep
+
+
+def _fig12_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Per-shard fidelities for one (configuration, eps_r) sweep point."""
+    configuration, factor, seed, engine = spec
+    routed, physical_input, physical_ideal, keep = _fig12_bundle(
+        configuration, seed
+    )
+    device = DEVICES[configuration.device_name]
+    noise = device_noise_model(device, error_reduction_factor=factor)
+    result = FeynmanPathSimulator(engine=engine).query_fidelities(
+        routed.circuit,
+        physical_input,
+        noise,
+        shard.shots,
+        keep_qubits=keep,
+        ideal_output=physical_ideal,
+        rng=shard.seeds(),
+    )
+    return result.fidelities
+
+
 def run_fig12(
     configurations: tuple[HardwareConfiguration, ...] = DEFAULT_CONFIGURATIONS,
     reduction_factors: tuple[float, ...] = DEFAULT_REDUCTION_FACTORS,
     *,
     shots: int = DEFAULT_SHOTS,
     seed: int | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
 ) -> list[dict[str, object]]:
     """Fidelity records for every (configuration, eps_r) pair, plus SWAP counts."""
-    simulator = FeynmanPathSimulator()
+    seed_value = resolve_seed(seed)
+    engine = get_default_engine()
+    points = [
+        (configuration, factor)
+        for configuration in configurations
+        for factor in reduction_factors
+    ]
+    specs = [
+        (configuration, factor, seed_value, engine)
+        for configuration, factor in points
+    ]
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    merged = runner.map_shards(_fig12_shard, specs, shots=shots, seed=seed_value)
     records: list[dict[str, object]] = []
-    for configuration in configurations:
-        architecture, routed = route_configuration(configuration, seed=seed)
+    for (configuration, factor), result in zip(points, merged):
+        routed, _, _, _ = _fig12_bundle(configuration, seed_value)
         device = DEVICES[configuration.device_name]
-        logical_input = architecture.input_state()
-        physical_input = routed.map_state(logical_input, final=False)
-        physical_ideal = routed.map_state(
-            architecture.ideal_output(logical_input), final=True
+        records.append(
+            {
+                "configuration": configuration.label,
+                "m": configuration.m,
+                "k": configuration.k,
+                "device": device.name,
+                "extra_swaps": routed.swap_count,
+                "error_reduction_factor": factor,
+                "shots": shots,
+                "fidelity": result.mean_fidelity,
+                "std_error": result.std_error,
+            }
         )
-        keep = routed.physical_qubits(architecture.kept_qubits(), final=True)
-        for factor in reduction_factors:
-            noise = device_noise_model(device, error_reduction_factor=factor)
-            result = simulator.query_fidelities(
-                routed.circuit,
-                physical_input,
-                noise,
-                shots,
-                keep_qubits=keep,
-                ideal_output=physical_ideal,
-                rng=experiment_rng(seed),
-            )
-            records.append(
-                {
-                    "configuration": configuration.label,
-                    "m": configuration.m,
-                    "k": configuration.k,
-                    "device": device.name,
-                    "extra_swaps": routed.swap_count,
-                    "error_reduction_factor": factor,
-                    "shots": shots,
-                    "fidelity": result.mean_fidelity,
-                    "std_error": result.std_error,
-                }
-            )
     return records
 
 

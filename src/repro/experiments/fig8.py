@@ -20,41 +20,52 @@ from repro.mapping.htree import HTreeEmbedding
 from repro.mapping.mapped_circuit import MappedQRAM
 from repro.mapping.routing import SwapRouting, TeleportationRouting
 from repro.qram.virtual_qram import VirtualQRAM
+from repro.sweep import SweepRunner
 
 DEFAULT_WIDTHS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
 
 
+def _fig8_point(spec: tuple) -> dict[str, object]:
+    """Routing-overhead record for one width (deterministic sweep point)."""
+    m, seed = spec
+    memory = random_memory(m, seed)
+    architecture = VirtualQRAM(memory=memory, qram_width=m)
+    circuit = architecture.build_circuit()
+    embedding = HTreeEmbedding(tree_depth=m)
+    report = verify_topological_minor(embedding)
+    mapped = MappedQRAM(circuit, embedding)
+    swap = mapped.overhead(SwapRouting())
+    teleport = mapped.overhead(TeleportationRouting())
+    layout = embedding.routing_resource_summary()
+    return {
+        "m": m,
+        "grid": f"{layout['grid_rows']}x{layout['grid_cols']}",
+        "grid_qubits": layout["grid_qubits"],
+        "unused_fraction": layout["unused_fraction"],
+        "topological_minor": report.is_topological_minor,
+        "logical_depth": swap.logical_depth,
+        "swap_extra_depth": swap.extra_depth,
+        "swap_extra_operations": swap.extra_operations,
+        "teleport_extra_depth": teleport.extra_depth,
+        "teleport_extra_operations": teleport.extra_operations,
+        "max_gate_distance": swap.max_gate_distance,
+    }
+
+
 def run_fig8(
-    widths: tuple[int, ...] = DEFAULT_WIDTHS, *, seed: int | None = None
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    *,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
-    """Routing-overhead records for each QRAM width (k = 0, as in the figure)."""
-    records: list[dict[str, object]] = []
-    for m in widths:
-        memory = random_memory(m, seed)
-        architecture = VirtualQRAM(memory=memory, qram_width=m)
-        circuit = architecture.build_circuit()
-        embedding = HTreeEmbedding(tree_depth=m)
-        report = verify_topological_minor(embedding)
-        mapped = MappedQRAM(circuit, embedding)
-        swap = mapped.overhead(SwapRouting())
-        teleport = mapped.overhead(TeleportationRouting())
-        layout = embedding.routing_resource_summary()
-        records.append(
-            {
-                "m": m,
-                "grid": f"{layout['grid_rows']}x{layout['grid_cols']}",
-                "grid_qubits": layout["grid_qubits"],
-                "unused_fraction": layout["unused_fraction"],
-                "topological_minor": report.is_topological_minor,
-                "logical_depth": swap.logical_depth,
-                "swap_extra_depth": swap.extra_depth,
-                "swap_extra_operations": swap.extra_operations,
-                "teleport_extra_depth": teleport.extra_depth,
-                "teleport_extra_operations": teleport.extra_operations,
-                "max_gate_distance": swap.max_gate_distance,
-            }
-        )
-    return records
+    """Routing-overhead records for each QRAM width (k = 0, as in the figure).
+
+    The sweep is deterministic (no Monte-Carlo shots), so each width is one
+    :class:`~repro.sweep.SweepRunner` point; ``workers`` parallelises the
+    embedding/routing work without changing any record.
+    """
+    runner = SweepRunner(workers=workers)
+    return runner.map_points(_fig8_point, [(m, seed) for m in widths])
 
 
 def fig8_report(

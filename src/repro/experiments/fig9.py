@@ -8,15 +8,27 @@ reduced fidelity over the address and bus registers.  The shapes to reproduce:
 * the virtual QRAM decays much faster (exponentially, following the tree
   size) under X (bit-flip) errors, while the bucket-brigade stays polynomial;
 * Select-Swap has no resilience under either channel.
+
+The sweep runs through :class:`~repro.sweep.SweepRunner`: every
+``(architecture, error, width)`` triple is one sweep point whose shot loop is
+split into deterministic seed-keyed shards, so ``workers``/``shard_size``
+change wall-clock time but never the records.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import experiment_rng, format_table, random_memory
+from functools import lru_cache
+
+import numpy as np
+
+from repro.experiments.common import format_table, random_memory, resolve_seed
+from repro.qram.base import QRAMArchitecture
 from repro.qram.bucket_brigade import BucketBrigadeQRAM
 from repro.qram.select_swap import SelectSwapQRAM
 from repro.qram.virtual_qram import VirtualQRAM
+from repro.sim.engine import get_default_engine
 from repro.sim.noise import GateNoiseModel, PauliChannel
+from repro.sweep import ShotShard, SweepRunner
 
 DEFAULT_WIDTHS: tuple[int, ...] = (1, 2, 3, 4, 5, 6)
 DEFAULT_EPSILON = 1e-3
@@ -34,6 +46,23 @@ ERROR_CHANNELS = {
 }
 
 
+@lru_cache(maxsize=64)
+def _fig9_architecture(name: str, m: int, seed: int) -> QRAMArchitecture:
+    """Process-local architecture cache: shards of a point share one build."""
+    return ARCHITECTURE_BUILDERS[name](memory=random_memory(m, seed), qram_width=m)
+
+
+def _fig9_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Per-shard fidelities for one (architecture, error, width) sweep point."""
+    name, error_name, m, epsilon, seed, engine = spec
+    architecture = _fig9_architecture(name, m, seed)
+    noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
+    result = architecture.run_query(
+        noise, shard.shots, rng=shard.seeds(), engine=engine
+    )
+    return result.fidelities
+
+
 def run_fig9(
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
     *,
@@ -42,31 +71,33 @@ def run_fig9(
     architectures: tuple[str, ...] = ("ours", "bb", "ss"),
     errors: tuple[str, ...] = ("Z", "X"),
     seed: int | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
 ) -> list[dict[str, object]]:
     """Fidelity records for every (architecture, error channel, width) triple."""
+    seed_value = resolve_seed(seed)
+    engine = get_default_engine()
+    specs = [
+        (name, error_name, m, epsilon, seed_value, engine)
+        for m in widths
+        for name in architectures
+        for error_name in errors
+    ]
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    merged = runner.map_shards(_fig9_shard, specs, shots=shots, seed=seed_value)
     records: list[dict[str, object]] = []
-    for m in widths:
-        memory = random_memory(m, seed)
-        for architecture_name in architectures:
-            architecture = ARCHITECTURE_BUILDERS[architecture_name](
-                memory=memory, qram_width=m
-            )
-            for error_name in errors:
-                noise = GateNoiseModel(ERROR_CHANNELS[error_name](epsilon))
-                result = architecture.run_query(
-                    noise, shots, rng=experiment_rng(seed)
-                )
-                records.append(
-                    {
-                        "architecture": architecture_name,
-                        "error": error_name,
-                        "m": m,
-                        "epsilon": epsilon,
-                        "shots": shots,
-                        "fidelity": result.mean_fidelity,
-                        "std_error": result.std_error,
-                    }
-                )
+    for (name, error_name, m, point_epsilon, _, _), result in zip(specs, merged):
+        records.append(
+            {
+                "architecture": name,
+                "error": error_name,
+                "m": m,
+                "epsilon": point_epsilon,
+                "shots": shots,
+                "fidelity": result.mean_fidelity,
+                "std_error": result.std_error,
+            }
+        )
     return records
 
 

@@ -15,6 +15,7 @@ from repro.analysis.resources import (
     table1_formulas,
 )
 from repro.experiments.common import format_table, random_memory
+from repro.sweep import SweepRunner
 
 #: Metrics reported per column, in Table 1's row order.
 TABLE1_METRICS: tuple[str, ...] = (
@@ -24,10 +25,9 @@ TABLE1_METRICS: tuple[str, ...] = (
 )
 
 
-def run_table1(
-    m: int = 4, k: int = 2, *, seed: int | None = None
-) -> list[dict[str, object]]:
-    """Measured-vs-formula records for one ``(m, k)`` configuration."""
+def _table1_point(spec: tuple) -> list[dict[str, object]]:
+    """All records of one ``(m, k)`` configuration (deterministic point)."""
+    m, k, seed = spec
     memory = random_memory(m + k, seed)
     formulas = table1_formulas(m, k)
     measured = measured_table1_row(memory, m)
@@ -45,6 +45,18 @@ def run_table1(
                 }
             )
     return records
+
+
+def run_table1(
+    m: int = 4,
+    k: int = 2,
+    *,
+    seed: int | None = None,
+    workers: int | None = None,
+) -> list[dict[str, object]]:
+    """Measured-vs-formula records for one ``(m, k)`` configuration."""
+    runner = SweepRunner(workers=workers)
+    return runner.map_points(_table1_point, [(m, k, seed)])[0]
 
 
 def table1_report(

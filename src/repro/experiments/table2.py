@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.analysis.resources import measured_table2_row, table2_formulas
 from repro.experiments.common import format_table, random_memory
+from repro.sweep import SweepRunner
 
 TABLE2_METRICS: tuple[str, ...] = (
     "qubits",
@@ -27,30 +28,46 @@ TABLE2_METRICS: tuple[str, ...] = (
 TABLE2_ARCHITECTURES: tuple[str, ...] = ("SQC+BB", "SQC+SS", "Ours")
 
 
+def _table2_point(spec: tuple) -> list[dict[str, object]]:
+    """All records of one ``(m, k)`` configuration (deterministic point)."""
+    m, k, seed = spec
+    memory = random_memory(m + k, seed)
+    formulas = table2_formulas(m, k)
+    measured = measured_table2_row(memory, m)
+    records: list[dict[str, object]] = []
+    for architecture in TABLE2_ARCHITECTURES:
+        for metric in TABLE2_METRICS:
+            records.append(
+                {
+                    "m": m,
+                    "k": k,
+                    "architecture": architecture,
+                    "metric": metric,
+                    "formula": formulas[architecture][metric],
+                    "measured": measured[architecture][metric],
+                }
+            )
+    return records
+
+
 def run_table2(
-    configurations: list[tuple[int, int]] | None = None, *, seed: int | None = None
+    configurations: list[tuple[int, int]] | None = None,
+    *,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
-    """Formula and measured records over a sweep of ``(m, k)`` configurations."""
+    """Formula and measured records over a sweep of ``(m, k)`` configurations.
+
+    Each configuration is one deterministic sweep point; ``workers``
+    parallelises the circuit builds without changing any record.
+    """
     if configurations is None:
         configurations = [(2, 1), (3, 2), (4, 2)]
-    records: list[dict[str, object]] = []
-    for m, k in configurations:
-        memory = random_memory(m + k, seed)
-        formulas = table2_formulas(m, k)
-        measured = measured_table2_row(memory, m)
-        for architecture in TABLE2_ARCHITECTURES:
-            for metric in TABLE2_METRICS:
-                records.append(
-                    {
-                        "m": m,
-                        "k": k,
-                        "architecture": architecture,
-                        "metric": metric,
-                        "formula": formulas[architecture][metric],
-                        "measured": measured[architecture][metric],
-                    }
-                )
-    return records
+    runner = SweepRunner(workers=workers)
+    blocks = runner.map_points(
+        _table2_point, [(m, k, seed) for m, k in configurations]
+    )
+    return [record for block in blocks for record in block]
 
 
 def table2_report(

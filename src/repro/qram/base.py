@@ -30,6 +30,7 @@ from repro.qram.memory import ClassicalMemory
 from repro.sim.feynman import FeynmanPathSimulator, QueryResult
 from repro.sim.noise import NoiseModel, NoiselessModel
 from repro.sim.paths import PathState
+from repro.sim.seeding import ShotSeeds
 
 
 @dataclass(frozen=True)
@@ -248,7 +249,7 @@ class QRAMArchitecture:
         *,
         input_state: PathState | None = None,
         reduced: bool = True,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | ShotSeeds | int | None = None,
         engine=None,
     ) -> QueryResult:
         """Monte-Carlo noisy query returning per-shot fidelities.
@@ -265,7 +266,9 @@ class QRAMArchitecture:
             Compute the reduced fidelity over address + bus (True, the
             operational figure of merit) or the full-state overlap (False).
         rng:
-            Seed or generator for reproducibility.
+            Seed or generator for reproducibility, or a
+            :class:`~repro.sim.seeding.ShotSeeds` window for the per-shot
+            seeded streams deterministic sharding relies on.
         engine:
             Execution engine name or instance (see :mod:`repro.sim.engine`);
             ``None`` uses the session default (``"feynman-tape"``).

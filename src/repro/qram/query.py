@@ -8,11 +8,17 @@ concrete builder.  :func:`run_query_experiment` bundles the common pattern
 fidelity" shared by Figures 9-12, and :class:`MultiBitQuery` extends single-bit
 queries to the multi-bit data widths discussed in Sec. 8 by querying one bit
 plane at a time.
+
+Both helpers run their Monte-Carlo shot loops through
+:class:`~repro.sweep.SweepRunner`: shots are split into deterministic
+seed-keyed shards that can execute across worker processes, with merged
+fidelities bit-identical for any worker count or shard size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Mapping, Type
 
 import numpy as np
@@ -25,6 +31,7 @@ from repro.qram.select_swap import SelectSwapQRAM
 from repro.qram.sqc import SequentialQueryCircuit
 from repro.qram.virtual_qram import VirtualQRAM, VirtualQRAMOptions
 from repro.sim.noise import NoiseModel
+from repro.sweep import ShotShard, SweepRunner
 
 #: Architectures by the short names used throughout the benchmarks.
 ARCHITECTURES: dict[str, Type[QRAMArchitecture]] = {
@@ -83,6 +90,21 @@ class QueryExperimentResult:
         }
 
 
+def _experiment_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Shard worker for :func:`run_query_experiment` (module-level: picklable)."""
+    architecture, noise, amplitudes, reduced, engine = spec
+    input_state = None if amplitudes is None else architecture.input_state(amplitudes)
+    result = architecture.run_query(
+        noise,
+        shard.shots,
+        input_state=input_state,
+        reduced=reduced,
+        rng=shard.seeds(),
+        engine=engine,
+    )
+    return result.fidelities
+
+
 def run_query_experiment(
     architecture: QRAMArchitecture,
     noise: NoiseModel | None,
@@ -92,6 +114,9 @@ def run_query_experiment(
     reduced: bool = True,
     rng: np.random.Generator | int | None = None,
     engine: str | None = None,
+    runner: SweepRunner | None = None,
+    seed: int = 0,
+    point_index: int = 0,
 ) -> QueryExperimentResult:
     """Run one noisy-query experiment and summarise it (Figures 9-12 pattern).
 
@@ -99,11 +124,35 @@ def run_query_experiment(
     ``None`` uses the session default.  With the default uniform input the
     architecture's memoized :meth:`~repro.qram.base.QRAMArchitecture.compiled_query`
     bundle is reused, so repeated sweep points skip circuit construction.
+
+    When ``runner`` is given, the shot loop is decomposed into deterministic
+    seed-keyed shards executed by the :class:`~repro.sweep.SweepRunner`
+    (``rng`` is then ignored): per-shot streams derive from ``(seed,
+    point_index, shot_index)``, so the summary is bit-identical for any
+    worker count or shard size.  Without a runner the legacy single-pass
+    path with a shared ``rng`` stream is used.
     """
-    input_state = None if amplitudes is None else architecture.input_state(amplitudes)
-    result = architecture.run_query(
-        noise, shots, input_state=input_state, reduced=reduced, rng=rng, engine=engine
-    )
+    if runner is not None:
+        spec = (architecture, noise, amplitudes, reduced, engine)
+        result = runner.map_shards(
+            _experiment_shard,
+            [spec],
+            shots=shots,
+            seed=seed,
+            point_offset=point_index,
+        )[0]
+    else:
+        input_state = (
+            None if amplitudes is None else architecture.input_state(amplitudes)
+        )
+        result = architecture.run_query(
+            noise,
+            shots,
+            input_state=input_state,
+            reduced=reduced,
+            rng=rng,
+            engine=engine,
+        )
     return QueryExperimentResult(
         architecture=architecture.name,
         m=architecture.m,
@@ -112,6 +161,37 @@ def run_query_experiment(
         mean_fidelity=result.mean_fidelity,
         std_error=result.std_error,
     )
+
+
+@lru_cache(maxsize=64)
+def _cached_plane(
+    memory: ClassicalMemory,
+    qram_width: int,
+    architecture: str,
+    options: VirtualQRAMOptions | None,
+    plane: int,
+) -> QRAMArchitecture:
+    """Process-local plane build cache: shards of a plane share one circuit."""
+    kwargs: dict = {"bit_plane": plane}
+    if architecture == "virtual" and options is not None:
+        kwargs["options"] = options
+    return make_architecture(architecture, memory, qram_width, **kwargs)
+
+
+def _plane_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    """Shard worker for :meth:`MultiBitQuery.run_noisy_planes` (picklable)."""
+    query, noise, reduced = spec
+    architecture = _cached_plane(
+        query.memory,
+        query.qram_width,
+        query.architecture,
+        query.options,
+        shard.point_index,
+    )
+    result = architecture.run_query(
+        noise, shard.shots, reduced=reduced, rng=shard.seeds(), engine=query.engine
+    )
+    return result.fidelities
 
 
 @dataclass
@@ -123,6 +203,10 @@ class MultiBitQuery:
     which is the strategy the paper describes as compatible with its design.
     ``engine`` selects the execution engine used for the per-plane
     simulations (``None`` = session default, see :mod:`repro.sim.engine`).
+
+    :meth:`run_noisy_planes` treats each bit plane as one sweep point of a
+    :class:`~repro.sweep.SweepRunner` sweep, so the planes' Monte-Carlo shot
+    loops shard across worker processes with deterministic seed-splitting.
     """
 
     memory: ClassicalMemory
@@ -131,19 +215,60 @@ class MultiBitQuery:
     options: VirtualQRAMOptions | None = None
     engine: str | None = None
 
+    def plane_architecture(self, plane: int) -> QRAMArchitecture:
+        """The architecture instance serving one bit plane."""
+        kwargs: dict = {"bit_plane": plane}
+        if self.architecture == "virtual" and self.options is not None:
+            kwargs["options"] = self.options
+        return make_architecture(
+            self.architecture, self.memory, self.qram_width, **kwargs
+        )
+
     def planes(self) -> list[QRAMArchitecture]:
         """One architecture instance per bit plane."""
-        built = []
-        for plane in range(self.memory.data_width):
-            kwargs: dict = {"bit_plane": plane}
-            if self.architecture == "virtual" and self.options is not None:
-                kwargs["options"] = self.options
-            built.append(
-                make_architecture(
-                    self.architecture, self.memory, self.qram_width, **kwargs
+        return [
+            self.plane_architecture(plane)
+            for plane in range(self.memory.data_width)
+        ]
+
+    def run_noisy_planes(
+        self,
+        noise: NoiseModel | None,
+        shots: int,
+        *,
+        reduced: bool = True,
+        runner: SweepRunner | None = None,
+        seed: int = 0,
+    ) -> list[QueryExperimentResult]:
+        """Noisy-query summary per bit plane, sharded across the runner.
+
+        Each plane is one sweep point; its shot loop is split into
+        deterministic seed-keyed shards (see :mod:`repro.sweep`), so the
+        per-plane summaries are bit-identical for any worker count or shard
+        size.  ``runner`` defaults to a serial :class:`~repro.sweep.SweepRunner`.
+        """
+        runner = SweepRunner(workers=1) if runner is None else runner
+        spec = (self, noise, reduced)
+        merged = runner.map_shards(
+            _plane_shard,
+            [spec] * self.memory.data_width,
+            shots=shots,
+            seed=seed,
+        )
+        summaries = []
+        for plane, result in enumerate(merged):
+            architecture = self.plane_architecture(plane)
+            summaries.append(
+                QueryExperimentResult(
+                    architecture=architecture.name,
+                    m=architecture.m,
+                    k=architecture.k,
+                    shots=shots,
+                    mean_fidelity=result.mean_fidelity,
+                    std_error=result.std_error,
                 )
             )
-        return built
+        return summaries
 
     def classical_readout(self, address: int) -> int:
         """The value a noiseless multi-bit query returns for ``address``.

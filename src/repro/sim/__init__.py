@@ -45,6 +45,7 @@ from repro.sim.noise import (
     sample_noisy_circuit,
 )
 from repro.sim.paths import PathState
+from repro.sim.seeding import ShotSeeds
 from repro.sim.statevector import StatevectorSimulator
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "PauliChannel",
     "PathState",
     "QubitOncePauliNoise",
+    "ShotSeeds",
     "StatevectorSimulator",
     "UnsupportedGateError",
     "available_engines",

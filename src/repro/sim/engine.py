@@ -40,6 +40,7 @@ import numpy as np
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.ir import (
     GateTape,
+    NoiseSiteTable,
     OP_CCX,
     OP_CSWAP,
     OP_CX,
@@ -74,6 +75,7 @@ from repro.sim.noise import (
     PAULI_Z,
 )
 from repro.sim.paths import PathState
+from repro.sim.seeding import ShotSeeds
 
 
 def _check_state(circuit: QuantumCircuit, state: PathState) -> None:
@@ -98,13 +100,19 @@ class Engine:
         state: PathState,
         noise: NoiseModel,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Monte-Carlo trajectories: ``shots`` stacked path blocks.
 
         Returns ``(bits, amps)`` with ``bits`` of shape
         ``(shots * n_paths, n_qubits)``; rows ``[s * n_paths, (s+1) * n_paths)``
         belong to shot ``s``.
+
+        ``rng`` is either a shared batch generator (one stream for the whole
+        block, the historical behaviour) or a pre-spawned
+        :class:`~repro.sim.seeding.ShotSeeds` window, in which case every
+        shot draws its errors from its own ``SeedSequence``-derived stream
+        and the result is invariant under any sharding of the shot range.
         """
         raise NotImplementedError
 
@@ -140,19 +148,51 @@ class InterpretedFeynmanEngine(Engine):
         state: PathState,
         noise: NoiseModel,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
         self._validate(circuit)
-        rng = np.random.default_rng() if rng is None else rng
+
+        noiseless = isinstance(noise, NoiselessModel)
+        # Per-shot seeded mode: pre-draw every site's codes column by column,
+        # one independent stream per shot, in the exact site order the loop
+        # below consumes them (gates in instruction order, trivial channels
+        # skipped -- the same filter as the loop, so a running cursor stays
+        # aligned).  The sites are enumerated here rather than through
+        # GateTape.noise_sites so interp keeps supporting off-operand error
+        # placements the fused tape must reject; for the QRAM noise models
+        # both enumerations are identical, which is what keeps the engines'
+        # seeded trajectories bit-for-bit equal.
+        site_codes: np.ndarray | None = None
+        site_cursor = 0
+        if isinstance(rng, ShotSeeds):
+            if not noiseless:
+                channels = [
+                    channel
+                    for instr in circuit.instructions
+                    if not instr.is_barrier
+                    for _, channel in noise.gate_error_channels(instr)
+                    if not channel.is_trivial
+                ]
+                # Drawing consumes only the channel sequence; the positional
+                # columns of the table are irrelevant here.
+                placeholder = np.zeros(len(channels), dtype=np.int32)
+                sites = NoiseSiteTable(
+                    gate_index=placeholder,
+                    qubit=placeholder,
+                    group_index=placeholder,
+                    channels=tuple(channels),
+                )
+                site_codes = sites.draw_per_shot(rng, shots)
+        else:
+            rng = np.random.default_rng() if rng is None else rng
 
         n_paths = state.num_paths
         bits = np.tile(state.bits, (shots, 1))
         amps = np.tile(state.amplitudes, shots).astype(complex)
 
-        noiseless = isinstance(noise, NoiselessModel)
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
@@ -162,7 +202,11 @@ class InterpretedFeynmanEngine(Engine):
             for qubit, channel in noise.gate_error_channels(instr):
                 if channel.is_trivial:
                     continue
-                shot_codes = channel.sample(rng, shots)
+                if site_codes is not None:
+                    shot_codes = site_codes[site_cursor]
+                    site_cursor += 1
+                else:
+                    shot_codes = channel.sample(rng, shots)
                 if not np.any(shot_codes != PAULI_I):
                     continue
                 row_codes = np.repeat(shot_codes, n_paths)
@@ -204,13 +248,12 @@ class TapeFeynmanEngine(Engine):
         state: PathState,
         noise: NoiseModel,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
         tape = self._tape(circuit)
-        rng = np.random.default_rng() if rng is None else rng
 
         n_paths = state.num_paths
         # Shot-stacked, qubit-major block: column s * n_paths + p is path p of
@@ -224,9 +267,16 @@ class TapeFeynmanEngine(Engine):
             return np.ascontiguousarray(bits_q.T), amps
 
         # One up-front draw for every (gate, qubit) error site of the batch,
-        # then a sparse bucket of nonzero events per fused group.
+        # then a sparse bucket of nonzero events per fused group.  A shared
+        # batch generator draws all shots at once; a ShotSeeds window draws
+        # each shot's column from that shot's own stream, which is what makes
+        # sharded sweeps bit-identical to serial ones.
         sites = tape.noise_sites(noise)
-        codes = sites.draw(shots, rng)
+        if isinstance(rng, ShotSeeds):
+            codes = sites.draw_per_shot(rng, shots)
+        else:
+            rng = np.random.default_rng() if rng is None else rng
+            codes = sites.draw(shots, rng)
         site_rows, event_shot = np.nonzero(codes)
         event_code = codes[site_rows, event_shot]
         event_qubit = sites.qubit[site_rows]
@@ -273,7 +323,7 @@ class StatevectorEngine(Engine):
         state: PathState,
         noise: NoiseModel,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if shots <= 0:
             raise ValueError("shots must be positive")

@@ -39,6 +39,7 @@ from repro.sim.feynman_kernels import UnsupportedGateError
 from repro.sim.fidelity import shot_fidelities
 from repro.sim.noise import NoiseModel
 from repro.sim.paths import PathState
+from repro.sim.seeding import ShotSeeds
 
 __all__ = ["FeynmanPathSimulator", "QueryResult", "UnsupportedGateError"]
 
@@ -102,13 +103,15 @@ class FeynmanPathSimulator:
         state: PathState,
         noise: NoiseModel,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Simulate ``shots`` Monte-Carlo noise samples in one vectorised pass.
 
         Returns the final ``bits`` block of shape ``(shots * n_paths, n_qubits)``
         and the matching amplitude vector.  Rows ``[s * n_paths, (s+1) * n_paths)``
-        belong to shot ``s``.
+        belong to shot ``s``.  Passing a :class:`~repro.sim.seeding.ShotSeeds`
+        window as ``rng`` selects per-shot seeded error streams (the
+        deterministic-sharding mode of :mod:`repro.sweep`).
         """
         return self._resolve_engine().run_noisy_shots(
             circuit, state, noise, shots, rng=rng
@@ -123,7 +126,7 @@ class FeynmanPathSimulator:
         *,
         keep_qubits: list[int] | None = None,
         ideal_output: PathState | None = None,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | ShotSeeds | None = None,
     ) -> QueryResult:
         """Monte-Carlo estimate of the query fidelity under ``noise``.
 

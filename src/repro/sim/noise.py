@@ -93,6 +93,33 @@ class PauliChannel:
             p=[1.0 - self.p_total, self.p_x, self.p_y, self.p_z],
         )
 
+    def sample_thresholded(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Sample ``size`` codes via one uniform draw per site.
+
+        Each uniform variate is mapped through the cumulative
+        ``(I, X, Y, Z)`` thresholds with a single ``searchsorted``, so the
+        call consumes exactly ``size`` values of ``rng.random`` regardless of
+        the channel.  This is the sampler behind the per-shot seeded mode
+        (:class:`repro.sim.seeding.ShotSeeds`): it is an order of magnitude
+        cheaper than ``rng.choice`` for the one-shot columns that mode draws,
+        which is what keeps deterministic sharding competitive with the bulk
+        batch draw.  The stream consumption differs from :meth:`sample`, so
+        the two modes produce different (but individually reproducible)
+        trajectories.
+        """
+        cumulative = np.array(
+            [
+                1.0 - self.p_total,
+                1.0 - self.p_total + self.p_x,
+                1.0 - self.p_total + self.p_x + self.p_y,
+            ]
+        )
+        return np.searchsorted(cumulative, rng.random(size), side="right").astype(
+            np.int64
+        )
+
     # Convenience constructors ------------------------------------------------
     @classmethod
     def phase_flip(cls, epsilon: float) -> "PauliChannel":

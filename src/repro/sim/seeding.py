@@ -1,0 +1,85 @@
+"""Deterministic per-shot random streams for sharded Monte-Carlo runs.
+
+The sweep runner (:mod:`repro.sweep`) splits a Monte-Carlo experiment into
+``(sweep_point, shot_shard)`` work units that may execute in any order across
+any number of worker processes.  For the merged results to be bit-identical
+to a serial run, the random stream a shot consumes must depend only on *which
+shot it is* -- never on which shard it landed in, which worker ran it, or how
+many shots share its batch.
+
+:class:`ShotSeeds` encodes that contract.  It derives one independent
+:class:`numpy.random.SeedSequence` per shot via the spawn-key mechanism,
+keyed on ``(seed, point_index, shot_index)``:
+
+    ``SeedSequence(seed, spawn_key=(point_index, shot_index))``
+
+``spawn_key`` is exactly what ``SeedSequence.spawn`` uses internally, so the
+streams are as statistically independent as NumPy's parallel-RNG machinery
+guarantees, and two distinct ``(point, shot)`` coordinates can never collide.
+
+The execution engines (:mod:`repro.sim.engine`) accept a ``ShotSeeds`` in
+place of a ``numpy.random.Generator`` in ``run_noisy_shots``; in that mode
+every shot's Pauli error codes are drawn from the shot's own generator, in
+noise-site order, using the threshold sampler
+(:meth:`repro.sim.noise.PauliChannel.sample_thresholded`).  Both Feynman
+engines share this contract, so their trajectories remain bit-identical to
+each other in seeded mode, and any sharding of the shot range reproduces the
+unsharded run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["ShotSeeds"]
+
+
+@dataclass(frozen=True)
+class ShotSeeds:
+    """Per-shot seed stream for one sweep point (see module docstring).
+
+    Parameters
+    ----------
+    seed:
+        Base entropy of the whole sweep (a non-negative integer).
+    point_index:
+        Index of the sweep point this stream belongs to.
+    start:
+        Absolute index of the first shot covered by this window.  A shard
+        covering shots ``[start, start + shots)`` of a point simply carries a
+        shifted window onto the same per-shot streams.
+    """
+
+    seed: int
+    point_index: int = 0
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.point_index < 0:
+            raise ValueError(
+                f"point_index must be non-negative, got {self.point_index}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+
+    def sequence(self, local_shot: int) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` of shot ``start + local_shot``."""
+        return np.random.SeedSequence(
+            self.seed, spawn_key=(self.point_index, self.start + local_shot)
+        )
+
+    def generator(self, local_shot: int) -> np.random.Generator:
+        """A fresh generator for shot ``start + local_shot`` of this window."""
+        return np.random.default_rng(self.sequence(local_shot))
+
+    def generators(self, shots: int) -> list[np.random.Generator]:
+        """One independent generator per shot of a ``shots``-wide batch."""
+        return [self.generator(index) for index in range(shots)]
+
+    def shifted(self, offset: int) -> "ShotSeeds":
+        """The same stream with the window moved ``offset`` shots forward."""
+        return replace(self, start=self.start + offset)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import error_cone, pauli_weight_at_output, z_error_locality_fraction
 from repro.circuit import QuantumCircuit
-from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.qram import VirtualQRAM
 
 
 class TestCliffordPropagationRules:

@@ -1,7 +1,6 @@
 """Tests for the compiled gate-tape IR (:mod:`repro.circuit.ir`)."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import QuantumCircuit, compile_circuit
 from repro.circuit.ir import (
@@ -10,7 +9,6 @@ from repro.circuit.ir import (
     OP_CX,
     OP_NOP,
     OP_SWAP,
-    OP_X,
     OPCODE_NAMES,
 )
 from repro.sim import GateNoiseModel, NoiselessModel, PauliChannel

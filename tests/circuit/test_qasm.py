@@ -1,6 +1,5 @@
 """Tests for the OpenQASM 2.0 exporter."""
 
-import pytest
 
 from repro.circuit import Instruction, QuantumCircuit, to_qasm, write_qasm
 from repro.qram import ClassicalMemory, VirtualQRAM

@@ -122,3 +122,67 @@ class TestCommandLine:
         assert main(["fig9", "--quick", "--shots", "4", "--engine", "statevector"]) == 2
         err = capsys.readouterr().err
         assert "Monte-Carlo" in err and "error:" in err
+
+
+class TestShardedCommandLine:
+    def test_workers_flag_is_bit_identical_to_serial(self, capsys):
+        base = ["fig9", "--quick", "--shots", "16", "--seed", "7"]
+        assert main(base + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_shard_size_flag_is_bit_identical(self, capsys):
+        base = ["fig9", "--quick", "--shots", "16", "--seed", "7"]
+        assert main(base) == 0
+        reference = capsys.readouterr().out
+        assert main(base + ["--shard-size", "3"]) == 0
+        resharded = capsys.readouterr().out
+        assert reference == resharded
+
+    def test_workers_exports_identical_artefacts(self, tmp_path, capsys):
+        base = ["table2", "--quick", "--seed", "5"]
+        assert main(base + ["--workers", "1", "--out", str(tmp_path / "serial")]) == 0
+        assert main(base + ["--workers", "2", "--out", str(tmp_path / "pool")]) == 0
+        capsys.readouterr()
+        for name in ("table2.csv", "table2.md"):
+            serial = (tmp_path / "serial" / name).read_bytes()
+            pool = (tmp_path / "pool" / name).read_bytes()
+            assert serial == pool
+
+
+class TestAllPropagatesFailures:
+    def test_all_continues_past_a_failure_and_exits_nonzero(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import __main__ as cli
+
+        ran = []
+
+        def broken(args):
+            raise RuntimeError("injected failure")
+
+        def working(args):
+            ran.append("ok")
+            return "report", [{"value": 1}]
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig9", broken)
+        for name in cli.EXPERIMENTS:
+            if name != "fig9":
+                monkeypatch.setitem(cli.EXPERIMENTS, name, working)
+        assert main(["all", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "fig9" in err and "failed" in err
+        # Every other experiment still ran after the failure.
+        assert len(ran) == len(cli.EXPERIMENTS) - 1
+
+    def test_single_experiment_failure_still_raises(self, monkeypatch):
+        from repro.experiments import __main__ as cli
+
+        def broken(args):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig9", broken)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            main(["fig9", "--quick"])

@@ -1,6 +1,5 @@
 """Tests for the per-table / per-figure experiment runners (small parameters)."""
 
-import pytest
 
 from repro.experiments import (
     advantage_summary,

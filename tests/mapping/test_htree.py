@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mapping import HTreeEmbedding, QubitRole, verify_topological_minor
-from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.qram import VirtualQRAM
 
 
 class TestConstruction:

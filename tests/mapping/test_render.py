@@ -1,6 +1,5 @@
 """Tests for the ASCII layout renderer."""
 
-import pytest
 
 from repro.mapping import HTreeEmbedding
 from repro.mapping.htree import QubitRole

@@ -100,7 +100,6 @@ class TestMappedQRAM:
         memory = ClassicalMemory.random(3, rng=1)
         architecture = VirtualQRAM(memory=memory, qram_width=3)
         circuit = architecture.build_circuit()
-        embedding = HTreeEmbedding(tree_depth=3)
 
         class BrokenEmbedding(HTreeEmbedding):
             def logical_positions(self, circuit):

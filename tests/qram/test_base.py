@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.qram import VirtualQRAM
 from repro.sim import GateNoiseModel, PauliChannel
 
 

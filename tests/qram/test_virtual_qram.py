@@ -1,6 +1,5 @@
 """Tests for the virtual QRAM builder (Algorithm 1 + Sec. 3.2 optimizations)."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -1,0 +1,136 @@
+"""The seed-splitting guarantee: merged shard results are bit-identical.
+
+This is the property the whole sweep subsystem rests on: for every
+registered engine, running a Monte-Carlo query sweep sharded across any
+number of workers with any shard size produces fidelities bit-identical to
+the serial, unsharded run -- because every shot's random stream is keyed on
+``(seed, point_index, shot_index)`` and nothing else.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import random_memory
+from repro.qram import MultiBitQuery, VirtualQRAM, run_query_experiment
+from repro.qram.memory import ClassicalMemory
+from repro.sim import (
+    GateNoiseModel,
+    NoiselessModel,
+    PauliChannel,
+    ShotSeeds,
+    available_engines,
+    get_engine,
+)
+from repro.sweep import ShotShard, SweepRunner
+
+SHOTS = 12
+SEED = 21
+
+#: Engines and the noise each supports (the dense engine is noiseless-only).
+ENGINE_NOISE = {
+    "feynman-interp": GateNoiseModel(PauliChannel.depolarizing(0.02)),
+    "feynman-tape": GateNoiseModel(PauliChannel.depolarizing(0.02)),
+    "statevector": NoiselessModel(),
+}
+
+
+def _architecture() -> VirtualQRAM:
+    return VirtualQRAM(memory=random_memory(2, SEED), qram_width=2)
+
+
+def _query_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
+    (engine_name,) = spec
+    architecture = _architecture()
+    result = architecture.run_query(
+        ENGINE_NOISE[engine_name],
+        shard.shots,
+        rng=shard.seeds(),
+        engine=engine_name,
+    )
+    return result.fidelities
+
+
+def _merged(engine_name: str, workers: int, shard_size: int) -> np.ndarray:
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    results = runner.map_shards(_query_shard, [(engine_name,)], shots=SHOTS, seed=SEED)
+    return results[0].fidelities
+
+
+class TestEveryEngineIsShardInvariant:
+    def test_registry_is_covered(self):
+        # If a new engine is registered, it must be added to this property
+        # test (and honour the ShotSeeds contract).
+        assert set(ENGINE_NOISE) == set(available_engines())
+
+    @pytest.mark.parametrize("engine_name", sorted(ENGINE_NOISE))
+    @pytest.mark.parametrize("shard_size", [1, 5, SHOTS, 64])
+    def test_shard_size_invariance_serial(self, engine_name, shard_size):
+        reference = _merged(engine_name, workers=1, shard_size=SHOTS)
+        assert np.array_equal(
+            _merged(engine_name, workers=1, shard_size=shard_size), reference
+        )
+
+    @pytest.mark.parametrize("engine_name", sorted(ENGINE_NOISE))
+    def test_worker_invariance(self, engine_name):
+        reference = _merged(engine_name, workers=1, shard_size=4)
+        assert np.array_equal(_merged(engine_name, workers=2, shard_size=4), reference)
+
+    @given(shard_size=st.integers(1, 2 * SHOTS))
+    @settings(max_examples=12, deadline=None)
+    def test_shard_size_property_tape_engine(self, shard_size):
+        reference = _merged("feynman-tape", workers=1, shard_size=SHOTS)
+        assert np.array_equal(
+            _merged("feynman-tape", workers=1, shard_size=shard_size), reference
+        )
+
+
+class TestEngineCrossAgreementUnderShotSeeds:
+    def test_tape_and_interp_draw_identical_trajectories(self):
+        architecture = _architecture()
+        compiled = architecture.compiled_query()
+        noise = GateNoiseModel(PauliChannel.depolarizing(0.05))
+        seeds = ShotSeeds(seed=3, point_index=1)
+        tape_bits, tape_amps = get_engine("feynman-tape").run_noisy_shots(
+            compiled.circuit, compiled.input_state, noise, 8, rng=seeds
+        )
+        interp_bits, interp_amps = get_engine("feynman-interp").run_noisy_shots(
+            compiled.circuit, compiled.input_state, noise, 8, rng=seeds
+        )
+        assert np.array_equal(tape_bits, interp_bits)
+        assert np.array_equal(tape_amps, interp_amps)
+
+
+class TestHighLevelHelpersAreWorkerInvariant:
+    def test_run_query_experiment_matches_across_runners(self):
+        architecture = _architecture()
+        noise = GateNoiseModel(PauliChannel.phase_flip(0.01))
+        serial = run_query_experiment(
+            architecture,
+            noise,
+            SHOTS,
+            runner=SweepRunner(workers=1, shard_size=3),
+            seed=SEED,
+        )
+        parallel = run_query_experiment(
+            architecture,
+            noise,
+            SHOTS,
+            runner=SweepRunner(workers=2, shard_size=5),
+            seed=SEED,
+        )
+        assert serial == parallel
+
+    def test_multibit_planes_match_across_runners(self):
+        memory = ClassicalMemory.from_values([1, 0, 3, 2], data_width=2)
+        query = MultiBitQuery(memory=memory, qram_width=2)
+        noise = GateNoiseModel(PauliChannel.phase_flip(0.01))
+        serial = query.run_noisy_planes(
+            noise, SHOTS, runner=SweepRunner(workers=1, shard_size=2), seed=SEED
+        )
+        parallel = query.run_noisy_planes(
+            noise, SHOTS, runner=SweepRunner(workers=2, shard_size=7), seed=SEED
+        )
+        assert len(serial) == memory.data_width
+        assert serial == parallel
