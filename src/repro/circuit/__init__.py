@@ -49,7 +49,12 @@ from repro.circuit.instruction import Instruction
 from repro.circuit.ir import GateTape, NoiseSiteTable, TapeGroup, compile_circuit
 from repro.circuit.qasm import to_qasm, write_qasm
 from repro.circuit.registers import QubitAllocator, QubitRegister
-from repro.circuit.scheduling import asap_layers, circuit_depth
+from repro.circuit.scheduling import (
+    ScheduleSlack,
+    asap_layers,
+    circuit_depth,
+    idle_slack,
+)
 
 __all__ = [
     "ALL_GATES",
@@ -63,6 +68,7 @@ __all__ = [
     "QubitAllocator",
     "QubitRegister",
     "REVERSIBLE_CLASSICAL_GATES",
+    "ScheduleSlack",
     "TapeGroup",
     "asap_layers",
     "circuit_cost",
@@ -73,6 +79,7 @@ __all__ = [
     "decompose_mcx",
     "gate_cost",
     "gate_spec",
+    "idle_slack",
     "is_classical_reversible",
     "is_clifford",
     "to_qasm",

@@ -135,9 +135,11 @@ class NoiseSiteTable:
 
     The site order is exactly the order the interpreted runner samples in
     (gates in instruction order, operand qubits in gate order, trivial
-    channels skipped), so drawing all codes up front with :meth:`draw`
-    consumes the random stream identically and reproduces the interpreted
-    engine's trajectories bit for bit under a fixed seed.
+    channels skipped, then the model's end-of-circuit sites), so drawing all
+    codes up front with :meth:`draw` consumes the random stream identically
+    and reproduces the interpreted engine's trajectories bit for bit under a
+    fixed seed.  End-of-circuit sites carry ``gate_index == -1`` and
+    ``group_index == num_groups``.
     """
 
     gate_index: np.ndarray  # (n_sites,) int32: index into GateTape.gates
@@ -258,7 +260,7 @@ class GateTape:
         channels: list["PauliChannel"] = []
         later_in_group: dict[int, set[int]] | None = None
         for index, instr in enumerate(self.gates):
-            for qubit, channel in noise.gate_error_channels(instr):
+            for qubit, channel in noise.gate_error_channels_indexed(index, instr):
                 if channel.is_trivial:
                     continue
                 if qubit not in instr.qubits:
@@ -279,12 +281,32 @@ class GateTape:
                 qubits.append(qubit)
                 channels.append(channel)
         gate_arr = np.asarray(gate_index, dtype=np.int32)
+        group_arr = (
+            self.gate_group[gate_arr]
+            if len(gate_index)
+            else np.empty(0, dtype=np.int32)
+        )
+        # End-of-circuit sites (idle-noise flushes): fired after every group,
+        # encoded with sentinel gate index -1 and group index num_groups so
+        # the engines' group-bucketed event walk picks them up last.
+        final = [
+            (qubit, channel)
+            for qubit, channel in noise.final_error_channels()
+            if not channel.is_trivial
+        ]
+        if final:
+            gate_arr = np.concatenate(
+                [gate_arr, np.full(len(final), -1, dtype=np.int32)]
+            )
+            qubits.extend(qubit for qubit, _ in final)
+            channels.extend(channel for _, channel in final)
+            group_arr = np.concatenate(
+                [group_arr, np.full(len(final), len(self.groups), dtype=np.int32)]
+            )
         return NoiseSiteTable(
             gate_index=gate_arr,
             qubit=np.asarray(qubits, dtype=np.int32),
-            group_index=self.gate_group[gate_arr]
-            if len(gate_index)
-            else np.empty(0, dtype=np.int32),
+            group_index=group_arr,
             channels=tuple(channels),
         )
 

@@ -7,10 +7,16 @@ Usage::
     python -m repro.experiments fig9 --shots 256 --seed 7 [--out results/]
     python -m repro.experiments fig10 --engine feynman-interp
     python -m repro.experiments all --quick
+    python -m repro.experiments scenario --list
+    python -m repro.experiments scenario htree-swap-m3 --workers 4 --out out/
 
 Each experiment prints the same rows/series the paper reports (via the
 ``*_report`` helpers) and, when ``--out`` is given, also writes the raw
-records as CSV and Markdown through :mod:`repro.experiments.export`.
+records as CSV, JSON and Markdown through :mod:`repro.experiments.export`.
+
+``scenario`` runs named end-to-end configurations from the
+:mod:`repro.scenarios` registry (``--list`` enumerates them); any number of
+scenario names can be given and each exports as ``scenario_<name>``.
 
 The ``--quick`` flag shrinks shot counts and sweep ranges so a full
 regeneration finishes in a couple of minutes on a laptop; omit it for the
@@ -132,8 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('all' for every one, 'list' to enumerate)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario"],
+        help="which experiment to run ('all' for every one, 'list' to "
+        "enumerate, 'scenario' for the end-to-end scenario registry)",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names to run (only with the 'scenario' experiment)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="with 'scenario': list registered scenarios and exit",
     )
     parser.add_argument("--shots", type=int, default=None, help="Monte-Carlo shots override")
     parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast run")
@@ -183,7 +200,54 @@ def run_experiment(name: str, args) -> None:
     print(report)
     if args.out:
         paths = export_experiment(records, args.out, name)
-        print(f"[{name}] wrote {paths['csv']} and {paths['markdown']}")
+        print(
+            f"[{name}] wrote {paths['csv']}, {paths['json']} and "
+            f"{paths['markdown']}"
+        )
+
+
+def run_scenarios(args) -> int:
+    """Handle the ``scenario`` experiment: listing and named runs."""
+    from repro.scenarios import (
+        available_scenarios,
+        get_scenario,
+        run_scenario,
+        scenario_report,
+    )
+
+    if args.list:
+        for name in available_scenarios():
+            print(f"{name}: {get_scenario(name).description}")
+        return 0
+    if not args.names:
+        print(
+            "error: 'scenario' needs at least one scenario name "
+            "(use --list to enumerate)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        for name in args.names:
+            get_scenario(name)  # fail fast on unknown names before running any
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for name in args.names:
+        records = run_scenario(
+            name,
+            shots=args.shots,
+            seed=args.seed,
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
+        print(scenario_report(name, records))
+        if args.out:
+            paths = export_experiment(records, args.out, f"scenario_{name}")
+            print(
+                f"[scenario {name}] wrote {paths['csv']}, {paths['json']} "
+                f"and {paths['markdown']}"
+            )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -192,10 +256,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print("scenario (see 'scenario --list')")
         return 0
+    if args.names and args.experiment != "scenario":
+        parser.error("positional scenario names are only valid with 'scenario'")
     previous_engine = get_default_engine()
     if args.engine is not None:
         set_default_engine(args.engine)
+    if args.experiment == "scenario":
+        try:
+            return run_scenarios(args)
+        finally:
+            set_default_engine(previous_engine)
     run_all = args.experiment == "all"
     names = sorted(EXPERIMENTS) if run_all else [args.experiment]
     failures: list[str] = []

@@ -1,8 +1,9 @@
-"""Exporting experiment records to CSV and Markdown.
+"""Exporting experiment records to CSV, JSON and Markdown.
 
 The experiment runners return lists of plain dictionaries; this module turns
 them into artefacts that can be checked into a paper repository or compared
-across runs: CSV files (one row per record) and Markdown tables (for
+across runs: CSV files (one row per record), JSON (for downstream tooling
+and the benchmark regression gates) and Markdown tables (for
 EXPERIMENTS.md-style reports).  Only the standard library is used so exports
 work in any environment the simulator runs in.
 """
@@ -10,6 +11,7 @@ work in any environment the simulator runs in.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -48,6 +50,26 @@ def records_to_csv(
     return path
 
 
+def records_to_json(
+    records: Sequence[Mapping[str, object]],
+    path: str | Path,
+) -> Path:
+    """Write ``records`` to ``path`` as a sorted-key JSON array.
+
+    Keys are sorted and the layout is fixed so two runs of the same sweep
+    produce byte-identical files -- the property the CI determinism gate
+    diffs on.
+    """
+    if not records:
+        raise ValueError("cannot export an empty record list")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump([dict(record) for record in records], handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def records_to_markdown(
     records: Sequence[Mapping[str, object]],
     *,
@@ -78,13 +100,14 @@ def export_experiment(
     output_directory: str | Path,
     name: str,
 ) -> dict[str, Path]:
-    """Write both a CSV and a Markdown rendering of one experiment's records.
+    """Write CSV, JSON and Markdown renderings of one experiment's records.
 
-    Returns the mapping ``{"csv": path, "markdown": path}``.
+    Returns the mapping ``{"csv": path, "json": path, "markdown": path}``.
     """
     output_directory = Path(output_directory)
     output_directory.mkdir(parents=True, exist_ok=True)
     csv_path = records_to_csv(records, output_directory / f"{name}.csv")
+    json_path = records_to_json(records, output_directory / f"{name}.json")
     markdown_path = output_directory / f"{name}.md"
     markdown_path.write_text(records_to_markdown(records) + "\n", encoding="utf-8")
-    return {"csv": csv_path, "markdown": markdown_path}
+    return {"csv": csv_path, "json": json_path, "markdown": markdown_path}

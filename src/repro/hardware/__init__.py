@@ -23,10 +23,15 @@ fidelity as hardware improves.
 from repro.hardware.devices import (
     DEVICES,
     DeviceModel,
+    grid_device,
     ibm_perth_like,
     ibmq_guadalupe_like,
 )
-from repro.hardware.noise_model import DeviceNoiseModel, device_noise_model
+from repro.hardware.noise_model import (
+    DeviceNoiseModel,
+    device_noise_model,
+    scheduled_device_noise_model,
+)
 from repro.hardware.router import GreedySwapRouter, RoutedCircuit
 
 __all__ = [
@@ -36,6 +41,8 @@ __all__ = [
     "GreedySwapRouter",
     "RoutedCircuit",
     "device_noise_model",
+    "grid_device",
     "ibm_perth_like",
     "ibmq_guadalupe_like",
+    "scheduled_device_noise_model",
 ]

@@ -34,6 +34,12 @@ class DeviceModel:
         Representative measurement error rate (reported for completeness; the
         fidelity experiments measure state overlap and do not add readout
         noise).
+    idle_error:
+        Representative per-schedule-layer dephasing probability of an idle
+        qubit (one two-qubit gate duration against the backend's T2).  Only
+        consumed by the schedule-aware scenario noise models
+        (:func:`repro.hardware.noise_model.scheduled_device_noise_model`);
+        the plain Figure-12 gate noise ignores it.
     """
 
     name: str
@@ -42,6 +48,7 @@ class DeviceModel:
     single_qubit_error: float = 3e-4
     two_qubit_error: float = 1e-2
     readout_error: float = 2e-2
+    idle_error: float = 1e-3
 
     def __post_init__(self) -> None:
         for a, b in self.coupling_map:

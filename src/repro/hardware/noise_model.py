@@ -12,10 +12,14 @@ drawing the (larger) two-qubit error rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.circuit.instruction import Instruction
 from repro.hardware.devices import DeviceModel
-from repro.sim.noise import NoiseModel, PauliChannel
+from repro.sim.noise import NoiseModel, PauliChannel, with_idle_noise
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import QuantumCircuit
 
 
 @dataclass(frozen=True)
@@ -78,3 +82,35 @@ def device_noise_model(
         device_name=device.name,
         error_reduction_factor=error_reduction_factor,
     )
+
+
+def scheduled_device_noise_model(
+    device: DeviceModel,
+    circuit: "QuantumCircuit",
+    *,
+    error_reduction_factor: float = 1.0,
+    idle_error: float | None = None,
+) -> NoiseModel:
+    """Device gate noise plus schedule-aware idle dephasing for ``circuit``.
+
+    Extends :func:`device_noise_model` with the decoherence real hardware
+    inflicts on *waiting* qubits: every ASAP layer a qubit spends idle (see
+    :func:`repro.circuit.scheduling.idle_slack`) applies one phase-flip
+    channel of probability ``idle_error / error_reduction_factor``.  Idle
+    dephasing scales with the same ``eps_r`` as the gate errors -- the
+    paper's error-reduction factor models uniformly better hardware, and a
+    longer-T2 backend idles more quietly in exactly the proportion its gates
+    improve.
+
+    ``idle_error`` defaults to the device's :attr:`DeviceModel.idle_error`
+    calibration; pass ``0.0`` to disable idle noise (reproducing the plain
+    Figure-12 model) or any other rate for ablation studies.  The returned
+    model is bound to ``circuit``'s schedule and must be rebuilt for a
+    different circuit.
+    """
+    base = device_noise_model(device, error_reduction_factor=error_reduction_factor)
+    rate = device.idle_error if idle_error is None else idle_error
+    if rate < 0:
+        raise ValueError(f"idle error must be non-negative, got {rate}")
+    idle_channel = PauliChannel.phase_flip(rate / error_reduction_factor)
+    return with_idle_noise(base, circuit, idle_channel)

@@ -19,6 +19,7 @@ devices or surface-code FTQC layouts).  This package provides:
   depth, reproducing Figure 8's overhead comparison.
 """
 
+from repro.mapping.device import HTreeDevice, htree_device
 from repro.mapping.embedding import EmbeddingReport, verify_topological_minor
 from repro.mapping.grid import Grid2D
 from repro.mapping.htree import HTreeEmbedding, QubitRole
@@ -33,6 +34,7 @@ from repro.mapping.routing import (
 __all__ = [
     "EmbeddingReport",
     "Grid2D",
+    "HTreeDevice",
     "HTreeEmbedding",
     "MappedQRAM",
     "MappingOverhead",
@@ -40,6 +42,7 @@ __all__ = [
     "RoutingScheme",
     "SwapRouting",
     "TeleportationRouting",
+    "htree_device",
     "render_layout",
     "render_levels",
     "render_overhead_summary",

@@ -1,0 +1,39 @@
+"""Named, sweepable end-to-end simulation scenarios.
+
+The figure experiments each exercise one slice of the stack -- Figure 8 maps
+without noise, Figure 12 adds device noise without the H-tree geometry.  A
+*scenario* composes every layer into one declarative spec:
+
+    architecture -> circuit -> embedding/routing -> device noise (+ idle)
+        -> sharded Monte-Carlo sweep
+
+Specs live in :mod:`~repro.scenarios.spec` (with a name registry), compile
+in :mod:`~repro.scenarios.compile` and execute through the deterministic
+sweep runner in :mod:`~repro.scenarios.run`.  Importing this package
+registers the built-in scenarios of :mod:`~repro.scenarios.builtin`;
+``python -m repro.experiments scenario --list`` enumerates them.
+"""
+
+from repro.scenarios.builtin import BUILTIN_SCENARIOS
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.run import run_scenario, scenario_report
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "CompiledScenario",
+    "ScenarioSpec",
+    "available_scenarios",
+    "compile_scenario",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_report",
+]

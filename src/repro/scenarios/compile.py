@@ -1,0 +1,257 @@
+"""Compile a :class:`ScenarioSpec` into an executable simulation bundle.
+
+Compilation is the expensive, deterministic half of a scenario run: build
+the QRAM circuit, embed/route it according to the spec's mapping strategy,
+precompute the input state, ideal output and kept qubits, and derive the
+*structure* of the position-dependent noise (teleportation-link site table).
+The cheap, per-sweep-point half -- instantiating the noise model at one
+error-reduction factor -- happens in :meth:`CompiledScenario.noise_model`
+inside the sweep workers.
+
+Mapping strategies
+------------------
+``none``
+    Execute the logical circuit as built (all-to-all connectivity).
+
+``htree`` + ``swap``
+    Place the circuit on the executable H-tree device
+    (:func:`repro.mapping.device.htree_device`) and route it with the greedy
+    SWAP router: every communication SWAP becomes a real gate and incurs the
+    device's two-qubit noise, and the longer schedule accrues more idle
+    noise.
+
+``htree`` + ``teleport``
+    Remote gates execute in place (entanglement-swapping links are constant
+    depth), but each remote gate at grid distance ``d`` consumed
+    ``2 * (d - 1)`` link operations on the routing qubits; their noise is
+    charged as that many applications of the device's two-qubit channel on
+    the gate's first operand -- the qubit the link teleports.  This mirrors
+    the cost model of :class:`repro.mapping.routing.TeleportationRouting`
+    while keeping the circuit inside the Feynman-simulable gate set (the
+    explicit EPR/Bell constructions need ``H`` and measurement).
+
+``device``
+    Route onto a named sparse backend with the greedy SWAP router -- the
+    Figure 12 methodology, now composable with idle noise and sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.scheduling import circuit_depth
+from repro.experiments.common import random_memory
+from repro.hardware.devices import DEVICES, DeviceModel, grid_device
+from repro.hardware.noise_model import scheduled_device_noise_model
+from repro.hardware.router import GreedySwapRouter
+from repro.mapping.device import htree_device
+from repro.mapping.grid import Grid2D
+from repro.mapping.htree import HTreeEmbedding
+from repro.qram.base import QRAMArchitecture
+from repro.qram.bucket_brigade import BucketBrigadeQRAM
+from repro.qram.fanout import FanoutQRAM
+from repro.qram.virtual_qram import VirtualQRAM
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.noise import NoiseModel, PauliChannel, ScheduledNoiseModel
+from repro.sim.paths import PathState
+
+_ARCHITECTURE_CLASSES = {
+    "virtual": VirtualQRAM,
+    "bucket-brigade": BucketBrigadeQRAM,
+    "fanout": FanoutQRAM,
+}
+
+#: Calibration used when a scenario names no device: the representative
+#: error scale of Sec. 6.3 (the :class:`DeviceModel` defaults).
+REFERENCE_CALIBRATION = grid_device(1, 2, name="reference")
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """Everything the sweep workers need to run one scenario's shots.
+
+    ``circuit`` is the *executed* circuit (routed when the mapping
+    materialises communication); ``link_sites`` is the per-gate
+    teleportation-link site table (empty outside htree+teleport).
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    circuit: QuantumCircuit
+    input_state: PathState
+    ideal_output: PathState
+    keep_qubits: tuple[int, ...]
+    device: DeviceModel
+    extra_swaps: int
+    link_sites: tuple[tuple[int, int], ...]  # (gate_index, charged qubit) x link ops
+    logical_gates: int
+    logical_depth: int
+
+    @property
+    def executed_gates(self) -> int:
+        return len(self.circuit.gates)
+
+    @property
+    def executed_depth(self) -> int:
+        return circuit_depth(self.circuit)
+
+    @property
+    def link_operations(self) -> int:
+        return len(self.link_sites)
+
+    @property
+    def idle_error_rate(self) -> float:
+        """Idle dephasing probability at ``eps_r = 1`` (spec override or device)."""
+        if self.spec.idle_error is not None:
+            return self.spec.idle_error
+        return self.device.idle_error
+
+    def noise_model(self, error_reduction_factor: float) -> NoiseModel:
+        """Instantiate the scenario's noise at one error-reduction factor.
+
+        Layering (and therefore random-stream site order) is fixed: device
+        gate noise, then schedule-aware idle noise
+        (:func:`~repro.hardware.noise_model.scheduled_device_noise_model`),
+        then teleportation-link noise.  Every layer divides its rates by the
+        same ``eps_r``.
+        """
+        model: NoiseModel = scheduled_device_noise_model(
+            self.device,
+            self.circuit,
+            error_reduction_factor=error_reduction_factor,
+            idle_error=self.idle_error_rate,
+        )
+        if self.link_sites:
+            link_channel = PauliChannel.depolarizing(
+                self.device.two_qubit_error / error_reduction_factor
+            )
+            per_gate: dict[int, list[tuple[int, PauliChannel]]] = {}
+            for gate_index, qubit in self.link_sites:
+                per_gate.setdefault(gate_index, []).append((qubit, link_channel))
+            n_gates = len(self.circuit.gates)
+            model = ScheduledNoiseModel(
+                base=model,
+                gate_sites=tuple(
+                    tuple(per_gate.get(index, ())) for index in range(n_gates)
+                ),
+            )
+        return model
+
+
+def _build_architecture(spec: ScenarioSpec, seed: int) -> QRAMArchitecture:
+    memory = random_memory(spec.memory_width, seed)
+    cls = _ARCHITECTURE_CLASSES[spec.architecture]
+    return cls(memory=memory, qram_width=spec.qram_width)
+
+
+def _calibration(spec: ScenarioSpec) -> DeviceModel:
+    if spec.device is not None:
+        return DEVICES[spec.device]
+    return REFERENCE_CALIBRATION
+
+
+def _teleport_link_sites(
+    circuit: QuantumCircuit, embedding: HTreeEmbedding
+) -> tuple[tuple[int, int], ...]:
+    """Link-noise sites of every remote gate: ``(gate_index, charged qubit)``.
+
+    A gate whose operands sit ``d > 1`` apart on the grid consumes
+    ``2 * (d - 1)`` entanglement-link operations (EPR halves plus Bell
+    measurements on the ``d - 1`` routing qubits of the path); each shows up
+    as one site on the gate's first operand.  ``gate_index`` counts
+    barrier-free gates, matching the tape enumeration.
+    """
+    positions = embedding.logical_positions(circuit)
+    sites: list[tuple[int, int]] = []
+    gate_index = 0
+    for instr in circuit.instructions:
+        if instr.is_barrier:
+            continue
+        if len(instr.qubits) >= 2:
+            coordinates = [positions[q] for q in instr.qubits]
+            distance = max(
+                Grid2D.manhattan_distance(a, b)
+                for i, a in enumerate(coordinates)
+                for b in coordinates[i + 1 :]
+            )
+            if distance > 1:
+                sites.extend(
+                    (gate_index, instr.qubits[0]) for _ in range(2 * (distance - 1))
+                )
+        gate_index += 1
+    return tuple(sites)
+
+
+@lru_cache(maxsize=32)
+def compile_scenario(spec: ScenarioSpec, seed: int) -> CompiledScenario:
+    """Build, embed and route one scenario (memoised per process).
+
+    The cache is what lets every ``(sweep point, shot shard)`` work unit
+    landing on a pool worker reuse the routed circuit and precomputed
+    states, mirroring the Figure 12 bundle pattern.
+    """
+    architecture = _build_architecture(spec, seed)
+    logical = architecture.build_circuit()
+    logical_input = architecture.input_state()
+    logical_ideal = architecture.ideal_output(logical_input)
+    calibration = _calibration(spec)
+    logical_gates = len(logical.gates)
+    logical_depth = circuit_depth(logical)
+
+    if spec.mapping == "none":
+        return CompiledScenario(
+            spec=spec,
+            seed=seed,
+            circuit=logical,
+            input_state=logical_input,
+            ideal_output=logical_ideal,
+            keep_qubits=tuple(architecture.kept_qubits()),
+            device=calibration,
+            extra_swaps=0,
+            link_sites=(),
+            logical_gates=logical_gates,
+            logical_depth=logical_depth,
+        )
+
+    if spec.mapping == "htree" and spec.routing == "teleport":
+        embedding = HTreeEmbedding(tree_depth=spec.qram_width)
+        return CompiledScenario(
+            spec=spec,
+            seed=seed,
+            circuit=logical,
+            input_state=logical_input,
+            ideal_output=logical_ideal,
+            keep_qubits=tuple(architecture.kept_qubits()),
+            device=calibration,
+            extra_swaps=0,
+            link_sites=_teleport_link_sites(logical, embedding),
+            logical_gates=logical_gates,
+            logical_depth=logical_depth,
+        )
+
+    if spec.mapping == "htree":
+        embedding = HTreeEmbedding(tree_depth=spec.qram_width)
+        layout = htree_device(embedding, logical, calibration=calibration)
+        routed = GreedySwapRouter(layout.device).route(
+            logical, layout.initial_layout
+        )
+    else:  # mapping == "device"
+        routed = GreedySwapRouter(calibration).route(logical)
+
+    return CompiledScenario(
+        spec=spec,
+        seed=seed,
+        circuit=routed.circuit,
+        input_state=routed.map_state(logical_input, final=False),
+        ideal_output=routed.map_state(logical_ideal, final=True),
+        keep_qubits=tuple(
+            routed.physical_qubits(architecture.kept_qubits(), final=True)
+        ),
+        device=routed.device,
+        extra_swaps=routed.swap_count,
+        link_sites=(),
+        logical_gates=logical_gates,
+        logical_depth=logical_depth,
+    )

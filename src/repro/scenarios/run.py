@@ -1,0 +1,140 @@
+"""Execute compiled scenarios through the sharded sweep runner.
+
+One scenario run is a Monte-Carlo sweep over the spec's error-reduction
+grid: each ``(eps_r, shot shard)`` work unit routes through
+:class:`repro.sweep.SweepRunner`, draws its Pauli codes from the shard's
+:class:`~repro.sim.seeding.ShotSeeds` window and returns per-shot
+fidelities, so merged records are bit-identical for any worker count and
+shard size -- the same contract every figure sweep honours.  The worker
+rebuilds the (process-cached) compiled scenario from the pickled spec, so
+pools work under both ``fork`` and ``spawn`` start methods for registered
+and ad-hoc specs alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import format_table, resolve_seed
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.spec import ScenarioSpec, get_scenario
+from repro.sim.engine import get_default_engine
+from repro.sim.feynman import FeynmanPathSimulator
+from repro.sweep import ShotShard, SweepRunner
+
+
+def _scenario_shard(spec_bundle: tuple, shard: ShotShard) -> np.ndarray:
+    """Per-shard fidelities of one ``(scenario, eps_r)`` sweep point."""
+    spec, factor, seed, engine = spec_bundle
+    compiled = compile_scenario(spec, seed)
+    result = FeynmanPathSimulator(engine=engine).query_fidelities(
+        compiled.circuit,
+        compiled.input_state,
+        compiled.noise_model(factor),
+        shard.shots,
+        keep_qubits=list(compiled.keep_qubits),
+        ideal_output=compiled.ideal_output,
+        rng=shard.seeds(),
+    )
+    return result.fidelities
+
+
+def _point_record(
+    compiled: CompiledScenario,
+    factor: float,
+    shots: int,
+    engine: str,
+    fidelity: float,
+    std_error: float,
+) -> dict[str, object]:
+    spec = compiled.spec
+    return {
+        "scenario": spec.name,
+        "architecture": spec.architecture,
+        "m": spec.qram_width,
+        "k": spec.sqc_width,
+        "mapping": spec.mapping,
+        "routing": spec.routing if spec.mapping == "htree" else (
+            "swap" if spec.mapping == "device" else "-"
+        ),
+        "device": compiled.device.name,
+        "num_qubits": compiled.circuit.num_qubits,
+        "logical_gates": compiled.logical_gates,
+        "executed_gates": compiled.executed_gates,
+        "extra_swaps": compiled.extra_swaps,
+        "link_operations": compiled.link_operations,
+        "logical_depth": compiled.logical_depth,
+        "executed_depth": compiled.executed_depth,
+        "idle_error": compiled.idle_error_rate,
+        "error_reduction_factor": factor,
+        "shots": shots,
+        "engine": engine,
+        "fidelity": fidelity,
+        "std_error": std_error,
+    }
+
+
+def run_scenario(
+    scenario: str | ScenarioSpec,
+    *,
+    shots: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
+    engine: str | None = None,
+) -> list[dict[str, object]]:
+    """Run one scenario's full sweep and return one record per sweep point.
+
+    ``scenario`` is a registered name or an ad-hoc :class:`ScenarioSpec`.
+    ``shots`` defaults to the spec's; ``seed`` to the project-wide default;
+    ``engine`` to the session default.  Records are bit-identical across
+    ``workers`` and ``shard_size``.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    seed_value = resolve_seed(seed)
+    engine_name = get_default_engine() if engine is None else engine
+    shot_count = spec.shots if shots is None else shots
+    bundles = [
+        (spec, factor, seed_value, engine_name)
+        for factor in spec.error_reduction_factors
+    ]
+    runner = SweepRunner(workers=workers, shard_size=shard_size)
+    merged = runner.map_shards(
+        _scenario_shard, bundles, shots=shot_count, seed=seed_value
+    )
+    compiled = compile_scenario(spec, seed_value)
+    return [
+        _point_record(
+            compiled,
+            factor,
+            shot_count,
+            engine_name,
+            result.mean_fidelity,
+            result.std_error,
+        )
+        for factor, result in zip(spec.error_reduction_factors, merged)
+    ]
+
+
+def scenario_report(
+    scenario: str | ScenarioSpec,
+    records: list[dict[str, object]],
+) -> str:
+    """Human-readable summary of one scenario's sweep records."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    first = records[0]
+    header = (
+        f"Scenario '{spec.name}': {spec.description}\n"
+        f"  architecture={spec.architecture} m={spec.qram_width} "
+        f"k={spec.sqc_width} mapping={spec.mapping} routing={first['routing']} "
+        f"device={first['device']}\n"
+        f"  qubits={first['num_qubits']} gates={first['executed_gates']} "
+        f"(logical {first['logical_gates']}) "
+        f"depth={first['executed_depth']} (logical {first['logical_depth']}) "
+        f"extra_swaps={first['extra_swaps']} "
+        f"link_ops={first['link_operations']} idle_error={first['idle_error']}\n"
+        f"  shots={first['shots']} engine={first['engine']}"
+    )
+    columns = ["error_reduction_factor", "fidelity", "std_error"]
+    rows = [[record[column] for column in columns] for record in records]
+    return header + "\n" + format_table(["eps_r", "fidelity", "std_error"], rows)

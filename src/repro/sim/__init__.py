@@ -42,7 +42,9 @@ from repro.sim.noise import (
     NoiselessModel,
     PauliChannel,
     QubitOncePauliNoise,
+    ScheduledNoiseModel,
     sample_noisy_circuit,
+    with_idle_noise,
 )
 from repro.sim.paths import PathState
 from repro.sim.seeding import ShotSeeds
@@ -58,6 +60,7 @@ __all__ = [
     "PauliChannel",
     "PathState",
     "QubitOncePauliNoise",
+    "ScheduledNoiseModel",
     "ShotSeeds",
     "StatevectorSimulator",
     "UnsupportedGateError",
@@ -69,4 +72,5 @@ __all__ = [
     "sample_noisy_circuit",
     "set_default_engine",
     "state_fidelity",
+    "with_idle_noise",
 ]

@@ -159,23 +159,33 @@ class InterpretedFeynmanEngine(Engine):
         # Per-shot seeded mode: pre-draw every site's codes column by column,
         # one independent stream per shot, in the exact site order the loop
         # below consumes them (gates in instruction order, trivial channels
-        # skipped -- the same filter as the loop, so a running cursor stays
-        # aligned).  The sites are enumerated here rather than through
-        # GateTape.noise_sites so interp keeps supporting off-operand error
-        # placements the fused tape must reject; for the QRAM noise models
-        # both enumerations are identical, which is what keeps the engines'
-        # seeded trajectories bit-for-bit equal.
+        # skipped, end-of-circuit channels last -- the same filter as the
+        # loop, so a running cursor stays aligned).  The sites are enumerated
+        # here rather than through GateTape.noise_sites so interp keeps
+        # supporting off-operand error placements the fused tape must reject;
+        # for the QRAM noise models both enumerations are identical, which is
+        # what keeps the engines' seeded trajectories bit-for-bit equal.
         site_codes: np.ndarray | None = None
         site_cursor = 0
         if isinstance(rng, ShotSeeds):
             if not noiseless:
                 channels = [
                     channel
-                    for instr in circuit.instructions
-                    if not instr.is_barrier
-                    for _, channel in noise.gate_error_channels(instr)
+                    for gate_index, instr in enumerate(
+                        instr
+                        for instr in circuit.instructions
+                        if not instr.is_barrier
+                    )
+                    for _, channel in noise.gate_error_channels_indexed(
+                        gate_index, instr
+                    )
                     if not channel.is_trivial
                 ]
+                channels.extend(
+                    channel
+                    for _, channel in noise.final_error_channels()
+                    if not channel.is_trivial
+                )
                 # Drawing consumes only the channel sequence; the positional
                 # columns of the table are irrelevant here.
                 placeholder = np.zeros(len(channels), dtype=np.int32)
@@ -193,24 +203,36 @@ class InterpretedFeynmanEngine(Engine):
         bits = np.tile(state.bits, (shots, 1))
         amps = np.tile(state.amplitudes, shots).astype(complex)
 
+        def apply_site(qubit: int, channel) -> None:
+            nonlocal site_cursor
+            if site_codes is not None:
+                shot_codes = site_codes[site_cursor]
+                site_cursor += 1
+            else:
+                shot_codes = channel.sample(rng, shots)
+            if not np.any(shot_codes != PAULI_I):
+                return
+            row_codes = np.repeat(shot_codes, n_paths)
+            apply_masked_pauli(bits, amps, qubit, row_codes)
+
+        gate_index = 0
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
             apply_instruction(bits, amps, instr)
-            if noiseless:
-                continue
-            for qubit, channel in noise.gate_error_channels(instr):
+            if not noiseless:
+                for qubit, channel in noise.gate_error_channels_indexed(
+                    gate_index, instr
+                ):
+                    if channel.is_trivial:
+                        continue
+                    apply_site(qubit, channel)
+            gate_index += 1
+        if not noiseless:
+            for qubit, channel in noise.final_error_channels():
                 if channel.is_trivial:
                     continue
-                if site_codes is not None:
-                    shot_codes = site_codes[site_cursor]
-                    site_cursor += 1
-                else:
-                    shot_codes = channel.sample(rng, shots)
-                if not np.any(shot_codes != PAULI_I):
-                    continue
-                row_codes = np.repeat(shot_codes, n_paths)
-                apply_masked_pauli(bits, amps, qubit, row_codes)
+                apply_site(qubit, channel)
         return bits, amps
 
 
@@ -281,10 +303,12 @@ class TapeFeynmanEngine(Engine):
         event_code = codes[site_rows, event_shot]
         event_qubit = sites.qubit[site_rows]
         # Group indices are non-decreasing in site order, so the event list is
-        # already sorted by group; bucket boundaries via searchsorted.
+        # already sorted by group; bucket boundaries via searchsorted.  The
+        # extra trailing bucket (group index == num_groups) holds the model's
+        # end-of-circuit sites, applied after every group has executed.
         event_group = sites.group_index[site_rows]
         bucket_starts = np.searchsorted(
-            event_group, np.arange(len(tape.groups) + 1)
+            event_group, np.arange(len(tape.groups) + 2)
         )
 
         for index, group in enumerate(tape.groups):
@@ -298,6 +322,16 @@ class TapeFeynmanEngine(Engine):
                     int(event_code[event]),
                     n_paths,
                 )
+        final_bucket = len(tape.groups)
+        for event in range(bucket_starts[final_bucket], bucket_starts[final_bucket + 1]):
+            _apply_error_event(
+                bits_q,
+                amps,
+                int(event_qubit[event]),
+                int(event_shot[event]),
+                int(event_code[event]),
+                n_paths,
+            )
         return np.ascontiguousarray(bits_q.T), amps
 
 

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from repro.circuit.instruction import Instruction
+from repro.circuit.scheduling import idle_slack
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuit.circuit import QuantumCircuit
@@ -146,6 +147,29 @@ class NoiseModel:
         """Channels applied (qubit, channel) immediately after ``instr``."""
         raise NotImplementedError
 
+    def gate_error_channels_indexed(
+        self, gate_index: int, instr: Instruction
+    ) -> list[tuple[int, PauliChannel]]:
+        """Channels applied after the ``gate_index``-th **barrier-free** gate.
+
+        ``gate_index`` counts the circuit's non-barrier instructions in
+        order -- the same enumeration :func:`repro.circuit.ir.compile_circuit`
+        packs into the gate tape -- so position-dependent models (idle noise
+        keyed on schedule slack, routing-link noise) can look their sites up
+        by position.  Position-independent models simply ignore the index;
+        the default delegates to :meth:`gate_error_channels`.
+        """
+        return self.gate_error_channels(instr)
+
+    def final_error_channels(self) -> list[tuple[int, PauliChannel]]:
+        """Channels applied once after the circuit's last instruction.
+
+        Used for error processes that no gate triggers -- e.g. the idling of
+        a qubit between its final gate and the end of the schedule.  The
+        default (no trailing channels) matches purely gate-triggered models.
+        """
+        return []
+
     def scaled(self, factor: float) -> "NoiseModel":
         """Return a copy with all error probabilities multiplied by ``factor``."""
         raise NotImplementedError
@@ -250,6 +274,106 @@ class QubitOncePauliNoise(NoiseModel):
         return insertions
 
 
+@dataclass(frozen=True)
+class ScheduledNoiseModel(NoiseModel):
+    """Position-dependent noise layered on top of a base model.
+
+    The model is bound to one specific circuit: ``gate_sites[i]`` lists the
+    extra ``(qubit, channel)`` error sites fired after the circuit's ``i``-th
+    barrier-free gate (after the base model's sites for that gate), and
+    ``final_sites`` lists sites fired once after the last instruction.  The
+    builders that know how to derive the site tables live next to the data
+    they consume: :func:`with_idle_noise` (schedule slack) here, and the
+    routing-link model in :mod:`repro.scenarios`.
+
+    Because the site tables are plain nested tuples the model stays hashable,
+    so the gate tape's per-model :class:`~repro.circuit.ir.NoiseSiteTable`
+    memoization keeps working.
+    """
+
+    base: NoiseModel
+    gate_sites: tuple[tuple[tuple[int, PauliChannel], ...], ...]
+    final_sites: tuple[tuple[int, PauliChannel], ...] = ()
+
+    def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
+        raise TypeError(
+            "ScheduledNoiseModel is position-dependent; error sites must be "
+            "enumerated via gate_error_channels_indexed()"
+        )
+
+    def gate_error_channels_indexed(
+        self, gate_index: int, instr: Instruction
+    ) -> list[tuple[int, PauliChannel]]:
+        if gate_index >= len(self.gate_sites):
+            raise ValueError(
+                f"gate index {gate_index} outside the {len(self.gate_sites)}-gate "
+                "circuit this ScheduledNoiseModel was built for -- rebuild the "
+                "model whenever the circuit changes"
+            )
+        channels = list(self.base.gate_error_channels_indexed(gate_index, instr))
+        channels.extend(self.gate_sites[gate_index])
+        return channels
+
+    def final_error_channels(self) -> list[tuple[int, PauliChannel]]:
+        channels = list(self.base.final_error_channels())
+        channels.extend(self.final_sites)
+        return channels
+
+    def scaled(self, factor: float) -> "ScheduledNoiseModel":
+        return ScheduledNoiseModel(
+            base=self.base.scaled(factor),
+            gate_sites=tuple(
+                tuple((qubit, channel.scaled(factor)) for qubit, channel in entry)
+                for entry in self.gate_sites
+            ),
+            final_sites=tuple(
+                (qubit, channel.scaled(factor)) for qubit, channel in self.final_sites
+            ),
+        )
+
+
+def with_idle_noise(
+    base: NoiseModel,
+    circuit: "QuantumCircuit",
+    idle_channel: PauliChannel,
+    *,
+    respect_barriers: bool = True,
+) -> NoiseModel:
+    """Extend ``base`` with schedule-aware idle noise for ``circuit``.
+
+    Every ASAP layer a qubit spends idle contributes one application of
+    ``idle_channel`` to that qubit: the idle layers a gate's operands
+    accumulated since their previous gate fire together with that gate's
+    error sites, and the idling between a qubit's last gate and the end of
+    the schedule fires once after the final instruction
+    (:meth:`NoiseModel.final_error_channels`).  With a phase-flip idle
+    channel of probability ``p`` a qubit idling ``d`` layers therefore keeps
+    its phase with the closed-form probability ``(1 + (1 - 2 p)**d) / 2`` --
+    the analytic check the test suite pins.
+
+    Returns ``base`` unchanged when the idle channel is trivial.
+    """
+    if idle_channel.is_trivial:
+        return base
+    slack = idle_slack(circuit, respect_barriers=respect_barriers)
+    return ScheduledNoiseModel(
+        base=base,
+        gate_sites=tuple(
+            tuple(
+                (qubit, idle_channel)
+                for qubit, layers in entry
+                for _ in range(layers)
+            )
+            for entry in slack.gate_idle
+        ),
+        final_sites=tuple(
+            (qubit, idle_channel)
+            for qubit, layers in slack.final_idle
+            for _ in range(layers)
+        ),
+    )
+
+
 def _pauli_instruction(code: int, qubit: int) -> Instruction:
     return Instruction(gate=_PAULI_NAMES[code], qubits=(qubit,), tags=frozenset({"noise"}))
 
@@ -285,12 +409,20 @@ def sample_noisy_circuit(
             noisy.append(instr)
         return noisy
 
+    gate_index = 0
     for instr in circuit.instructions:
         noisy.append(instr)
-        for qubit, channel in noise.gate_error_channels(instr):
+        if instr.is_barrier:
+            continue
+        for qubit, channel in noise.gate_error_channels_indexed(gate_index, instr):
             code = int(channel.sample(rng, 1)[0])
             if code != PAULI_I:
                 noisy.append(_pauli_instruction(code, qubit))
+        gate_index += 1
+    for qubit, channel in noise.final_error_channels():
+        code = int(channel.sample(rng, 1)[0])
+        if code != PAULI_I:
+            noisy.append(_pauli_instruction(code, qubit))
     return noisy
 
 
@@ -308,16 +440,25 @@ def expected_error_insertions(
             touched.update(instr.qubits)
         return len(touched) * noise.channel.p_total
     total = 0.0
-    for instr in circuit.instructions:
-        for _, channel in noise.gate_error_channels(instr):
-            total += channel.p_total
+    for _, _, channel in iter_error_sites(circuit, noise):
+        total += channel.p_total
     return total
 
 
 def iter_error_sites(
     circuit: "QuantumCircuit", noise: NoiseModel
 ) -> Iterable[tuple[int, int, PauliChannel]]:
-    """Yield ``(instruction_index, qubit, channel)`` error opportunities."""
+    """Yield ``(instruction_index, qubit, channel)`` error opportunities.
+
+    Sites triggered by the end of the circuit (idle-noise flushes) are
+    yielded with ``instruction_index == len(circuit.instructions)``.
+    """
+    gate_index = 0
     for index, instr in enumerate(circuit.instructions):
-        for qubit, channel in noise.gate_error_channels(instr):
+        if instr.is_barrier:
+            continue
+        for qubit, channel in noise.gate_error_channels_indexed(gate_index, instr):
             yield index, qubit, channel
+        gate_index += 1
+    for qubit, channel in noise.final_error_channels():
+        yield len(circuit.instructions), qubit, channel

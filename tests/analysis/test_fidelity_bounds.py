@@ -111,6 +111,7 @@ class TestMonotonicity:
 
 
 class TestBoundAgainstSimulation:
+    @pytest.mark.slow
     @pytest.mark.parametrize("m", [1, 2, 3, 4])
     def test_qubit_based_z_noise_respects_eq3(self, m):
         """Monte-Carlo fidelity under the per-qubit phase-flip channel must sit

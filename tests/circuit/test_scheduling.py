@@ -3,7 +3,12 @@
 from hypothesis import given, settings
 
 from repro.circuit import Instruction, QuantumCircuit
-from repro.circuit.scheduling import asap_layers, circuit_depth, layer_widths
+from repro.circuit.scheduling import (
+    asap_layers,
+    circuit_depth,
+    idle_slack,
+    layer_widths,
+)
 from tests.conftest import random_reversible_circuits
 
 
@@ -79,3 +84,43 @@ class TestSchedulingProperties:
             for qubit in instr.qubits:
                 assert last_layer_per_qubit.get(qubit, -1) < layer_index
                 last_layer_per_qubit[qubit] = layer_index
+
+
+class TestIdleSlackProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_reversible_circuits(max_qubits=6, max_gates=20))
+    def test_busy_plus_idle_fills_the_schedule(self, circuit):
+        """For every qubit: gate layers + idle layers == schedule depth.
+
+        Each qubit occupies exactly one layer per gate it participates in,
+        so its idle layers (charged at gates plus the trailing flush) must
+        account for the rest of the schedule -- the conservation law the
+        idle-noise site budget relies on.
+        """
+        slack = idle_slack(circuit)
+        assert slack.depth == circuit_depth(circuit)
+        busy = {q: 0 for q in range(circuit.num_qubits)}
+        idle = {q: 0 for q in range(circuit.num_qubits)}
+        for instr, entry in zip(circuit.gates, slack.gate_idle):
+            for q in instr.qubits:
+                busy[q] += 1
+            for q, layers in entry:
+                assert layers > 0
+                idle[q] += layers
+        for q, layers in slack.final_idle:
+            assert layers > 0
+            idle[q] += layers
+        for q in range(circuit.num_qubits):
+            assert busy[q] + idle[q] == slack.depth
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_reversible_circuits(max_qubits=5, max_gates=15))
+    def test_gate_idle_aligns_with_barrier_free_gates(self, circuit):
+        slack = idle_slack(circuit)
+        assert len(slack.gate_idle) == len(circuit.gates)
+
+    def test_empty_circuit_has_no_slack(self):
+        slack = idle_slack(QuantumCircuit(3))
+        assert slack.depth == 0
+        assert slack.gate_idle == ()
+        assert slack.final_idle == ()

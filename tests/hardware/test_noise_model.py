@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.circuit import Instruction
-from repro.hardware import device_noise_model, ibm_perth_like
+from repro.circuit import Instruction, QuantumCircuit
+from repro.hardware import (
+    device_noise_model,
+    ibm_perth_like,
+    scheduled_device_noise_model,
+)
 from repro.qram import ClassicalMemory, VirtualQRAM
+from repro.sim.noise import ScheduledNoiseModel, iter_error_sites
 
 
 class TestDeviceNoiseModel:
@@ -54,3 +59,53 @@ class TestFidelityImprovesWithBetterHardware:
             fidelities.append(result.mean_fidelity)
         assert fidelities[0] < fidelities[2]
         assert fidelities[2] > 0.95
+
+
+class TestScheduledDeviceNoiseModel:
+    def _circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(2)
+        for _ in range(5):
+            circuit.add("X", 0)  # qubit 1 idles for the full 5-layer schedule
+        return circuit
+
+    def test_idle_defaults_to_device_calibration(self):
+        device = ibm_perth_like()
+        model = scheduled_device_noise_model(device, self._circuit())
+        assert isinstance(model, ScheduledNoiseModel)
+        assert len(model.final_sites) == 5
+        assert model.final_sites[0][1].p_z == pytest.approx(device.idle_error)
+
+    def test_zero_idle_error_reduces_to_plain_device_model(self):
+        device = ibm_perth_like()
+        model = scheduled_device_noise_model(device, self._circuit(), idle_error=0.0)
+        assert model == device_noise_model(device)
+
+    def test_idle_error_shares_the_reduction_factor(self):
+        device = ibm_perth_like()
+        model = scheduled_device_noise_model(
+            device, self._circuit(), error_reduction_factor=10.0, idle_error=0.02
+        )
+        assert model.final_sites[0][1].p_z == pytest.approx(0.002)
+        base_channel = model.base.gate_error_channels(
+            Instruction(gate="X", qubits=(0,))
+        )[0][1]
+        assert base_channel.p_total == pytest.approx(
+            device.single_qubit_error / 10.0
+        )
+
+    def test_negative_idle_error_rejected(self):
+        with pytest.raises(ValueError, match="idle error"):
+            scheduled_device_noise_model(
+                ibm_perth_like(), self._circuit(), idle_error=-1e-3
+            )
+
+    def test_site_count_adds_idle_budget_to_gate_sites(self):
+        circuit = self._circuit()
+        device = ibm_perth_like()
+        plain = list(iter_error_sites(circuit, device_noise_model(device)))
+        scheduled = list(
+            iter_error_sites(
+                circuit, scheduled_device_noise_model(device, circuit)
+            )
+        )
+        assert len(scheduled) == len(plain) + 5

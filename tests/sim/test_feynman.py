@@ -155,6 +155,7 @@ class TestNoisyShots:
         )
         assert high.mean_fidelity < low.mean_fidelity
 
+    @pytest.mark.slow
     def test_vectorised_runner_matches_explicit_sampling(self, simulator):
         """The fast per-shot vectorised noise application must agree (statistically)
         with explicitly sampling noisy circuits one shot at a time."""

@@ -1,0 +1,110 @@
+"""Property-based cross-engine equivalence over random circuits and noise.
+
+The compiled ``feynman-tape`` engine promises *bit-identical* noisy
+trajectories to the interpreted reference under a fixed per-shot seed, and
+both promise exact noiseless agreement with the dense statevector
+simulator.  These properties are the foundation the scenario sweeps stand
+on, so they are exercised here with hypothesis over random QRAM-gate-set
+circuits and random :class:`GateNoiseModel` parameters (the fixed
+``repro-ci`` profile in ``tests/conftest.py`` keeps CI deterministic).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    FeynmanPathSimulator,
+    PathState,
+    ShotSeeds,
+    StatevectorSimulator,
+    with_idle_noise,
+)
+from repro.sim.noise import PauliChannel
+from tests.conftest import gate_noise_models, random_reversible_circuits
+
+
+def _superposition_input(circuit) -> PathState:
+    register = list(range(min(3, circuit.num_qubits)))
+    return PathState.register_superposition(circuit.num_qubits, register)
+
+
+class TestSeededTrajectoryBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        random_reversible_circuits(max_qubits=6, max_gates=18),
+        gate_noise_models(),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_tape_and_interp_agree_bit_for_bit(self, circuit, noise, seed):
+        """Same ShotSeeds window => identical bits and amplitudes."""
+        state = _superposition_input(circuit)
+        seeds = ShotSeeds(seed=seed)
+        shots = 8
+        bits_tape, amps_tape = FeynmanPathSimulator(
+            engine="feynman-tape"
+        ).run_noisy_shots(circuit, state, noise, shots, rng=seeds)
+        bits_interp, amps_interp = FeynmanPathSimulator(
+            engine="feynman-interp"
+        ).run_noisy_shots(circuit, state, noise, shots, rng=seeds)
+        assert np.array_equal(bits_tape, bits_interp)
+        assert np.array_equal(amps_tape, amps_interp)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        random_reversible_circuits(max_qubits=5, max_gates=14),
+        gate_noise_models(),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_idle_extended_models_stay_bit_identical(self, circuit, noise, seed):
+        """The schedule-aware idle path preserves the cross-engine contract."""
+        state = _superposition_input(circuit)
+        model = with_idle_noise(noise, circuit, PauliChannel.phase_flip(0.1))
+        seeds = ShotSeeds(seed=seed)
+        shots = 6
+        bits_tape, amps_tape = FeynmanPathSimulator(
+            engine="feynman-tape"
+        ).run_noisy_shots(circuit, state, model, shots, rng=seeds)
+        bits_interp, amps_interp = FeynmanPathSimulator(
+            engine="feynman-interp"
+        ).run_noisy_shots(circuit, state, model, shots, rng=seeds)
+        assert np.array_equal(bits_tape, bits_interp)
+        assert np.array_equal(amps_tape, amps_interp)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        random_reversible_circuits(max_qubits=5, max_gates=14),
+        gate_noise_models(),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_sharding_invariance(self, circuit, noise, seed):
+        """Any split of the shot range reproduces the unsharded draw."""
+        state = _superposition_input(circuit)
+        shots = 6
+        sim = FeynmanPathSimulator(engine="feynman-tape")
+        bits_all, amps_all = sim.run_noisy_shots(
+            circuit, state, noise, shots, rng=ShotSeeds(seed=seed)
+        )
+        split = 2
+        bits_a, amps_a = sim.run_noisy_shots(
+            circuit, state, noise, split, rng=ShotSeeds(seed=seed)
+        )
+        bits_b, amps_b = sim.run_noisy_shots(
+            circuit, state, noise, shots - split, rng=ShotSeeds(seed=seed, start=split)
+        )
+        assert np.array_equal(bits_all, np.vstack([bits_a, bits_b]))
+        assert np.array_equal(amps_all, np.concatenate([amps_a, amps_b]))
+
+
+class TestNoiselessStatevectorAgreement:
+    @pytest.mark.slow
+    @settings(max_examples=40, deadline=None)
+    @given(random_reversible_circuits(max_qubits=6, max_gates=18))
+    def test_engines_match_dense_amplitudes(self, circuit):
+        """Noiseless Feynman runs reproduce statevector amplitudes exactly."""
+        state = _superposition_input(circuit)
+        dense = StatevectorSimulator().run(circuit, state)
+        for engine in ("feynman-tape", "feynman-interp"):
+            output = FeynmanPathSimulator(engine=engine).run(circuit, state)
+            assert np.allclose(output.to_statevector(), dense, atol=1e-9)
