@@ -1,0 +1,159 @@
+"""Router benchmark: lookahead vs greedy SWAP counts and depths, CI-gated.
+
+The workload is every built-in *mapped* scenario with distinct routing work
+(``htree-swap-m3`` on the executable H-tree device plus the Figure 12 sparse
+backends ``perth-m1`` / ``guadalupe-m2``; the idle/readout/lookahead
+variants route identically to their bases and are skipped), compiled with
+both registered routers at a fixed seed.  Unlike the timing benchmarks,
+routing is fully deterministic, so every gated metric is a
+machine-independent pure function of the seed.
+
+Three properties gate:
+
+* **Dominance** (always gates): the lookahead router must not emit more
+  SWAPs than greedy on *any* mapped built-in scenario, and the routed
+  depth must not grow either.
+* **Strict reduction** (always gates): at least one sparse-backend
+  (``mapping="device"``) scenario must show strictly fewer SWAPs.
+* **Ratios vs the committed baseline** (``check_regression.py``): the
+  per-scenario ``greedy / lookahead`` swap and depth ratios are
+  higher-is-better metrics -- a heuristic change that gives back more than
+  20% of the routing win fails CI.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_router.py
+    PYTHONPATH=src python benchmarks/bench_router.py --json BENCH_router.json
+"""
+
+import argparse
+import json
+import time
+
+from repro.experiments.common import format_table
+from repro.scenarios import compile_scenario, get_scenario
+
+#: Mapped built-ins with distinct routing work (see module docstring).
+SCENARIOS = ("htree-swap-m3", "perth-m1", "guadalupe-m2")
+#: The sparse IBM backends on which a strict SWAP reduction is required.
+SPARSE_SCENARIOS = ("perth-m1", "guadalupe-m2")
+SEED = 7
+ROUTERS = ("greedy-swap", "lookahead")
+
+
+def _compile_with(name: str, router: str):
+    spec = get_scenario(name)
+    probe = spec.variant(f"{name}-bench-{router}", "router benchmark probe", router=router)
+    return compile_scenario(probe, SEED)
+
+
+def route_workload() -> dict[str, dict[str, dict[str, float]]]:
+    """Compile every scenario with both routers; returns per-router measurements."""
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for name in SCENARIOS:
+        results[name] = {}
+        for router in ROUTERS:
+            start = time.perf_counter()
+            compiled = _compile_with(name, router)
+            elapsed = time.perf_counter() - start
+            results[name][router] = {
+                "swaps": compiled.extra_swaps,
+                "depth": compiled.executed_depth,
+                "gates": compiled.executed_gates,
+                "seconds": elapsed,
+            }
+    return results
+
+
+def bench_router_workload(benchmark):
+    """Both routers over the three mapped built-ins (compile included)."""
+    results = benchmark(route_workload)
+    assert set(results) == set(SCENARIOS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", type=str, default=None, help="write measurements to this path"
+    )
+    args = parser.parse_args(argv)
+
+    results = route_workload()
+
+    rows = []
+    gates: dict[str, float] = {}
+    for name in SCENARIOS:
+        greedy = results[name]["greedy-swap"]
+        lookahead = results[name]["lookahead"]
+        rows.append(
+            [
+                name,
+                int(greedy["swaps"]),
+                int(lookahead["swaps"]),
+                int(greedy["depth"]),
+                int(lookahead["depth"]),
+            ]
+        )
+        key = name.replace("-", "_")
+        gates[f"swap_ratio_{key}"] = greedy["swaps"] / max(1.0, lookahead["swaps"])
+        gates[f"depth_ratio_{key}"] = greedy["depth"] / lookahead["depth"]
+    print(
+        format_table(
+            ["scenario", "greedy swaps", "lookahead swaps", "greedy depth", "lookahead depth"],
+            rows,
+        )
+    )
+    total_seconds = sum(
+        results[name][router]["seconds"] for name in SCENARIOS for router in ROUTERS
+    )
+    print(f"total compile+route time: {total_seconds * 1e3:.0f} ms (not gated)")
+
+    dominated = [
+        name
+        for name in SCENARIOS
+        if results[name]["lookahead"]["swaps"] > results[name]["greedy-swap"]["swaps"]
+        or results[name]["lookahead"]["depth"] > results[name]["greedy-swap"]["depth"]
+    ]
+    strict = [
+        name
+        for name in SPARSE_SCENARIOS
+        if results[name]["lookahead"]["swaps"] < results[name]["greedy-swap"]["swaps"]
+    ]
+
+    if args.json:
+        payload = {
+            "benchmark": "router",
+            "workload": {
+                "scenarios": list(SCENARIOS),
+                "seed": SEED,
+                "routers": list(ROUTERS),
+            },
+            "measurements": results,
+            "gates": gates,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if dominated:
+        print(
+            "FAIL: lookahead routed more SWAPs or deeper than greedy on: "
+            + ", ".join(dominated)
+        )
+        return 1
+    if not strict:
+        print(
+            "FAIL: no sparse-backend scenario shows a strict lookahead SWAP "
+            f"reduction (checked {', '.join(SPARSE_SCENARIOS)})"
+        )
+        return 1
+    print(
+        "OK: lookahead <= greedy everywhere; strict reduction on "
+        + ", ".join(strict)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

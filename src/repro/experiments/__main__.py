@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments all --quick
     python -m repro.experiments scenario --list
     python -m repro.experiments scenario htree-swap-m3 --workers 4 --out out/
+    python -m repro.experiments scenario htree-swap-m3 --router lookahead
 
 Each experiment prints the same rows/series the paper reports (via the
 ``*_report`` helpers) and, when ``--out`` is given, also writes the raw
@@ -46,6 +47,11 @@ from repro.experiments import (
     table2_report,
 )
 from repro.experiments.export import export_experiment
+from repro.hardware.router import (
+    available_routers,
+    get_default_router,
+    set_default_router,
+)
 from repro.sim.engine import available_engines, get_default_engine, set_default_engine
 
 
@@ -171,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'feynman-tape' engine)",
     )
     parser.add_argument(
+        "--router",
+        choices=available_routers(),
+        default=None,
+        help="SWAP router for scenario compiles whose spec leaves the router "
+        "unset (default: the greedy router; 'lookahead' is the SABRE-style "
+        "pass with fewer SWAPs)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -261,13 +275,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.names and args.experiment != "scenario":
         parser.error("positional scenario names are only valid with 'scenario'")
     previous_engine = get_default_engine()
+    previous_router = get_default_router()
     if args.engine is not None:
         set_default_engine(args.engine)
+    if args.router is not None:
+        set_default_router(args.router)
     if args.experiment == "scenario":
         try:
             return run_scenarios(args)
         finally:
             set_default_engine(previous_engine)
+            set_default_router(previous_router)
     run_all = args.experiment == "all"
     names = sorted(EXPERIMENTS) if run_all else [args.experiment]
     failures: list[str] = []
@@ -290,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(name)
     finally:
         set_default_engine(previous_engine)
+        set_default_router(previous_router)
     if failures:
         print(
             f"error: {len(failures)} of {len(names)} experiments failed: "

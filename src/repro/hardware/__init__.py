@@ -10,10 +10,15 @@ package substitutes:
   (~1e-3), scalable by the error-reduction factor ``eps_r``;
 * :mod:`~repro.hardware.noise_model` -- a gate-based noise model derived from
   a device's calibration, distinguishing one- and two-qubit gate errors;
-* :mod:`~repro.hardware.router` -- a lightweight greedy swap-insertion router
-  standing in for Qiskit's SABRE pass: it makes remote gates executable on the
+* :mod:`~repro.hardware.router` -- the router registry plus a lightweight
+  greedy swap-insertion router: it makes remote gates executable on the
   sparse coupling map and reports the extra SWAP count that Figure 12 lists
-  under its legend.
+  under its legend;
+* :mod:`~repro.hardware.lookahead` -- a SABRE-style lookahead router
+  (front-layer + extended-window scoring, decay heuristic,
+  forward/backward/forward initial-layout selection) that stands in for
+  Qiskit's SABRE pass proper and routes with fewer SWAPs than the greedy
+  baseline.
 
 The substitution preserves what Figure 12 actually measures: how the extra
 SWAPs forced by sparse connectivity and the overall error scale affect query
@@ -32,17 +37,34 @@ from repro.hardware.noise_model import (
     device_noise_model,
     scheduled_device_noise_model,
 )
-from repro.hardware.router import GreedySwapRouter, RoutedCircuit
+from repro.hardware.router import (
+    GreedySwapRouter,
+    RoutedCircuit,
+    available_routers,
+    get_default_router,
+    get_router_class,
+    make_router,
+    register_router,
+    set_default_router,
+)
+from repro.hardware.lookahead import LookaheadSwapRouter
 
 __all__ = [
     "DEVICES",
     "DeviceModel",
     "DeviceNoiseModel",
     "GreedySwapRouter",
+    "LookaheadSwapRouter",
     "RoutedCircuit",
+    "available_routers",
     "device_noise_model",
+    "get_default_router",
+    "get_router_class",
     "grid_device",
     "ibm_perth_like",
     "ibmq_guadalupe_like",
+    "make_router",
+    "register_router",
     "scheduled_device_noise_model",
+    "set_default_router",
 ]

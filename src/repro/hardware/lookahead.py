@@ -1,0 +1,444 @@
+"""SABRE-style lookahead SWAP routing (the ``"lookahead"`` registry entry).
+
+:class:`GreedySwapRouter` resolves each blocked gate in isolation, walking
+one operand along a shortest path the moment the gate is reached.  That is
+correct but myopic twice over: a SWAP that helps the current gate can undo
+work the next gate needed, and the identity initial layout it starts from
+bears no relation to which qubits the circuit actually couples.  On the
+sparse IBM topologies both effects inflate the extra-SWAP counts that the
+Figure 12 and ``htree-swap-*`` overheads hinge on.
+
+:class:`LookaheadSwapRouter` adapts the SABRE algorithm (Li, Ding & Xie,
+ASPLOS 2019) to this codebase's gate set:
+
+* **Front-layer routing.**  The circuit is viewed as a dependency DAG; all
+  gates whose predecessors have executed form the *front layer*.  Ready
+  single-qubit gates and barriers execute immediately; ready multi-qubit
+  gates execute as soon as their physical operands form a connected patch of
+  the coupling map.  When nothing in the front layer is executable, one SWAP
+  is chosen by heuristic score rather than by walking a fixed shortest path.
+* **Extended lookahead window.**  Candidate SWAPs are scored against the
+  front layer *plus* a window of upcoming multi-qubit gates, so the router
+  prefers moves that help near-future gates too.
+* **Decay-weighted heuristic.**  Each chosen SWAP slightly inflates the
+  score of further SWAPs on the same physical qubits, spreading movement
+  across the device and breaking the back-and-forth cycles a pure distance
+  heuristic falls into.
+* **Forward/backward/forward layout selection.**  When no initial layout is
+  given, the circuit is routed forward from the identity layout, then its
+  reverse is routed from the resulting final layout, and the layout that
+  falls out seeds the real forward pass -- so frequently-interacting logical
+  qubits start out physically adjacent, replacing the blind identity layout.
+
+Multi-qubit gates (``CCX``/``CSWAP``/``MCX``) generalise SABRE's two-qubit
+distance via the minimum-spanning-tree weight of the operands under the
+all-pairs coupling distance: the excess over ``arity - 1`` is zero exactly
+when the operands induce a connected patch, and shrinks as they cluster.
+
+Routing is fully deterministic (sorted candidate enumeration, strict
+first-minimum tie-breaking), so routed circuits -- and therefore seeded
+noisy trajectories -- are reproducible bit for bit.  A stall counter guards
+termination: if the heuristic fails to execute a gate within
+``max_stalled_swaps`` SWAPs, the oldest front gate is resolved greedily
+(shortest-path walking), which always makes progress.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from typing import ClassVar
+
+import networkx as nx
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.hardware.devices import DeviceModel
+from repro.hardware.router import (
+    RoutedCircuit,
+    apply_swap,
+    check_layout,
+    register_router,
+)
+
+
+@dataclass
+class LookaheadSwapRouter:
+    """Route circuits onto a :class:`DeviceModel` with SABRE-style lookahead.
+
+    Parameters
+    ----------
+    device:
+        Target backend; its coupling map must be connected.
+    lookahead_window:
+        Number of upcoming multi-qubit gates (beyond the front layer) that
+        candidate SWAPs are scored against.
+    lookahead_weight:
+        Relative weight of the lookahead-window term in the score (the front
+        layer always has weight 1).
+    decay_increment:
+        Score inflation added to a physical qubit each time a SWAP moves it;
+        decays reset whenever a gate executes or after
+        ``decay_reset_interval`` consecutive SWAP decisions.
+    decay_reset_interval:
+        SWAP decisions between periodic decay resets.
+    max_stalled_swaps:
+        Heuristic SWAPs tolerated without executing any gate before falling
+        back to greedy shortest-path resolution of the oldest front gate
+        (termination guarantee).  ``None`` derives ``4 * num_qubits + 8``.
+    """
+
+    name: ClassVar[str] = "lookahead"
+
+    device: DeviceModel
+    lookahead_window: int = 20
+    lookahead_weight: float = 0.5
+    decay_increment: float = 0.001
+    decay_reset_interval: int = 5
+    max_stalled_swaps: int | None = None
+    _graph: nx.Graph = field(init=False, repr=False)
+    _dist: np.ndarray = field(init=False, repr=False)
+    _adjacency: list[frozenset[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._graph = self.device.to_networkx()
+        if not nx.is_connected(self._graph):
+            raise ValueError("device coupling map must be connected")
+        n = self.device.num_qubits
+        self._dist = np.zeros((n, n), dtype=np.int32)
+        for source, lengths in nx.all_pairs_shortest_path_length(self._graph):
+            for target, distance in lengths.items():
+                self._dist[source, target] = distance
+        self._adjacency = [
+            frozenset(self._graph.neighbors(vertex)) for vertex in range(n)
+        ]
+
+    # --------------------------------------------------------------- routing
+    def route(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: dict[int, int] | None = None,
+    ) -> RoutedCircuit:
+        """Insert SWAPs so every gate acts on a connected patch of the device.
+
+        With ``initial_layout`` given (e.g. the H-tree cluster placement) a
+        single forward pass routes from it; with ``None`` the
+        forward/backward layout-selection passes run first and the layout
+        they converge on replaces the identity default.
+        """
+        if circuit.num_qubits > self.device.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits but device "
+                f"{self.device.name} has only {self.device.num_qubits}"
+            )
+        if initial_layout is None:
+            layout = {q: q for q in range(circuit.num_qubits)}
+            forward = list(circuit.instructions)
+            layout = self._route_pass(forward, layout, record=False)
+            initial_layout = self._route_pass(forward[::-1], layout, record=False)
+        else:
+            check_layout(circuit, initial_layout, self.device)
+
+        routed = QuantumCircuit(
+            num_qubits=self.device.num_qubits, metadata=dict(circuit.metadata)
+        )
+        final_layout = self._route_pass(
+            list(circuit.instructions),
+            dict(initial_layout),
+            record=True,
+            routed=routed,
+        )
+        return RoutedCircuit(
+            circuit=routed,
+            device=self.device,
+            initial_layout=dict(initial_layout),
+            final_layout=final_layout,
+        )
+
+    # ------------------------------------------------------------ one pass
+    def _route_pass(
+        self,
+        instructions: list[Instruction],
+        layout: dict[int, int],
+        *,
+        record: bool,
+        routed: QuantumCircuit | None = None,
+    ) -> dict[int, int]:
+        """Route ``instructions`` starting from ``layout``; return the final layout.
+
+        ``record=False`` runs a layout-selection pass: SWAPs update the
+        layout but no instructions are emitted.  The instruction list may be
+        the reverse of the circuit's (gate *names* never matter for routing,
+        only operand sets), which is what the backward pass exploits.
+        """
+        n_instr = len(instructions)
+        pending = [0] * n_instr
+        successors: list[list[int]] = [[] for _ in range(n_instr)]
+        last_on_qubit: dict[int, int] = {}
+        for index, instr in enumerate(instructions):
+            dependencies = {
+                last_on_qubit[q] for q in instr.qubits if q in last_on_qubit
+            }
+            pending[index] = len(dependencies)
+            for dependency in dependencies:
+                successors[dependency].append(index)
+            for q in instr.qubits:
+                last_on_qubit[q] = index
+
+        logical_to_physical = dict(layout)
+        physical_to_logical = {p: l for l, p in logical_to_physical.items()}
+        ready = [index for index in range(n_instr) if pending[index] == 0]
+        heapify(ready)
+        front: list[int] = []  # blocked multi-qubit gates, kept sorted
+        done = [False] * n_instr
+        decay = np.ones(self.device.num_qubits)
+        stall_limit = (
+            self.max_stalled_swaps
+            if self.max_stalled_swaps is not None
+            else 4 * self.device.num_qubits + 8
+        )
+        stalled_swaps = 0
+        decisions_since_reset = 0
+
+        def complete(index: int) -> None:
+            done[index] = True
+            for successor in successors[index]:
+                pending[successor] -= 1
+                if pending[successor] == 0:
+                    heappush(ready, successor)
+
+        def emit(index: int) -> None:
+            instr = instructions[index]
+            if record:
+                physical = tuple(logical_to_physical[q] for q in instr.qubits)
+                gate = "BARRIER" if instr.is_barrier else instr.gate
+                routed.append(Instruction(gate=gate, qubits=physical, tags=instr.tags))
+            complete(index)
+
+        def swap(physical_a: int, physical_b: int) -> None:
+            apply_swap(
+                physical_a,
+                physical_b,
+                logical_to_physical,
+                physical_to_logical,
+                routed if record else None,
+            )
+
+        while ready or front:
+            progressed = True
+            while progressed:
+                progressed = False
+                while ready:
+                    index = heappop(ready)
+                    instr = instructions[index]
+                    if instr.is_barrier or len(instr.qubits) <= 1:
+                        emit(index)
+                        progressed = True
+                    else:
+                        insort(front, index)
+                executable = [
+                    index
+                    for index in front
+                    if self._connected(
+                        [logical_to_physical[q] for q in instructions[index].qubits]
+                    )
+                ]
+                if executable:
+                    for index in executable:
+                        emit(index)
+                    blocked = set(executable)
+                    front = [index for index in front if index not in blocked]
+                    progressed = True
+                    stalled_swaps = 0
+                    decay[:] = 1.0
+            if not front:
+                continue
+            if stalled_swaps >= stall_limit:
+                self._force_executable(
+                    instructions[front[0]].qubits, logical_to_physical, swap
+                )
+                stalled_swaps = 0
+                decay[:] = 1.0
+                continue
+            best = self._best_swap(
+                front, instructions, done, logical_to_physical, decay
+            )
+            swap(*best)
+            stalled_swaps += 1
+            decisions_since_reset += 1
+            if decisions_since_reset >= self.decay_reset_interval:
+                decay[:] = 1.0
+                decisions_since_reset = 0
+            else:
+                decay[best[0]] += self.decay_increment
+                decay[best[1]] += self.decay_increment
+
+        return logical_to_physical
+
+    # ------------------------------------------------------------ heuristics
+    def _connected(self, physical: list[int]) -> bool:
+        """Do the physical operands induce a connected coupling subgraph?"""
+        if len(physical) <= 1:
+            return True
+        remaining = set(physical)
+        stack = [physical[0]]
+        remaining.discard(physical[0])
+        while stack:
+            vertex = stack.pop()
+            reached = self._adjacency[vertex] & remaining
+            remaining -= reached
+            stack.extend(reached)
+        return not remaining
+
+    def _gate_cost(self, physical: list[int]) -> int:
+        """Excess minimum-spanning-tree weight of the operands (0 = executable).
+
+        For two operands this is ``distance - 1``; for more it is the MST
+        weight over the all-pairs coupling distances minus ``arity - 1``,
+        which vanishes exactly when the operands induce a connected patch.
+        """
+        if len(physical) == 2:
+            return int(self._dist[physical[0], physical[1]]) - 1
+        in_tree = [physical[0]]
+        rest = set(physical[1:])
+        total = 0
+        while rest:
+            weight, vertex = min(
+                (int(self._dist[a, b]), b) for a in in_tree for b in rest
+            )
+            total += weight
+            in_tree.append(vertex)
+            rest.discard(vertex)
+        return total - (len(physical) - 1)
+
+    def _extended_window(
+        self,
+        front: list[int],
+        instructions: list[Instruction],
+        done: list[bool],
+    ) -> list[int]:
+        """Upcoming multi-qubit gates (beyond the front) to score against."""
+        blocked = set(front)
+        window: list[int] = []
+        for index in range(front[0], len(instructions)):
+            if done[index] or index in blocked:
+                continue
+            instr = instructions[index]
+            if instr.is_barrier or len(instr.qubits) < 2:
+                continue
+            window.append(index)
+            if len(window) >= self.lookahead_window:
+                break
+        return window
+
+    def _best_swap(
+        self,
+        front: list[int],
+        instructions: list[Instruction],
+        done: list[bool],
+        logical_to_physical: dict[int, int],
+        decay: np.ndarray,
+    ) -> tuple[int, int]:
+        """The decay-weighted best SWAP candidate for the current front layer."""
+        front_physical = {
+            logical_to_physical[q]
+            for index in front
+            for q in instructions[index].qubits
+        }
+        candidates = sorted(
+            {
+                (min(vertex, neighbour), max(vertex, neighbour))
+                for vertex in front_physical
+                for neighbour in self._adjacency[vertex]
+            }
+        )
+        window = self._extended_window(front, instructions, done)
+        best: tuple[int, int] | None = None
+        best_score = float("inf")
+        for a, b in candidates:
+
+            def moved(physical: int) -> int:
+                if physical == a:
+                    return b
+                if physical == b:
+                    return a
+                return physical
+
+            front_cost = sum(
+                self._gate_cost(
+                    [moved(logical_to_physical[q]) for q in instructions[index].qubits]
+                )
+                for index in front
+            ) / len(front)
+            window_cost = (
+                sum(
+                    self._gate_cost(
+                        [
+                            moved(logical_to_physical[q])
+                            for q in instructions[index].qubits
+                        ]
+                    )
+                    for index in window
+                )
+                / len(window)
+                if window
+                else 0.0
+            )
+            score = max(decay[a], decay[b]) * (
+                front_cost + self.lookahead_weight * window_cost
+            )
+            if score < best_score - 1e-12:
+                best = (a, b)
+                best_score = score
+        assert best is not None  # the device is connected, so candidates exist
+        return best
+
+    def _force_executable(
+        self,
+        logical_operands: tuple[int, ...],
+        logical_to_physical: dict[int, int],
+        swap,
+    ) -> None:
+        """Greedy fallback: walk operands together along shortest paths.
+
+        Mirrors :class:`GreedySwapRouter`'s convergence argument -- each
+        round the closest outside operand walks until adjacent to the core
+        component, so the core grows every round and the gate becomes
+        executable after at most ``arity - 1`` rounds.
+        """
+        for _ in range(len(logical_operands)):
+            physical = [logical_to_physical[q] for q in logical_operands]
+            if self._connected(physical):
+                return
+            core = self._component(physical, physical[0])
+            outside = sorted(p for p in physical if p not in core)
+            source = min(
+                outside,
+                key=lambda p: (min(int(self._dist[p, c]) for c in core), p),
+            )
+            target = min(core, key=lambda c: (int(self._dist[source, c]), c))
+            path = nx.shortest_path(self._graph, source, target)
+            for step_index in range(len(path) - 2):
+                swap(path[step_index], path[step_index + 1])
+        physical = [logical_to_physical[q] for q in logical_operands]
+        if not self._connected(physical):  # pragma: no cover - safety net
+            raise RuntimeError("routing failed to converge")
+
+    def _component(self, physical: list[int], anchor: int) -> set[int]:
+        """Operand positions connected (via the coupling map) to ``anchor``."""
+        remaining = set(physical)
+        component = {anchor}
+        remaining.discard(anchor)
+        stack = [anchor]
+        while stack:
+            vertex = stack.pop()
+            reached = self._adjacency[vertex] & remaining
+            remaining -= reached
+            component |= reached
+            stack.extend(reached)
+        return component
+
+
+register_router(LookaheadSwapRouter)

@@ -1,23 +1,39 @@
-"""Greedy SWAP-insertion routing for sparse device topologies (Appendix A).
+"""SWAP-insertion routing for sparse device topologies (Appendix A).
 
 The paper transpiles its small virtual QRAMs onto IBM hardware with Qiskit's
 SABRE pass and reports the number of extra SWAP gates forced by the devices'
 sparse connectivity (5 / 20 / 65 / 99 for the four Figure 12 configurations).
-Qiskit is not available offline, so this module provides a compact stand-in:
-a greedy router that walks the circuit, and whenever a gate's operands do not
-form a connected patch of the coupling map, moves the farthest operand one
-coupling edge at a time towards the rest, inserting SWAP gates (tagged
-``"routing"``) and updating the logical-to-physical layout as it goes.
+Qiskit is not available offline, so this module provides compact stand-ins
+behind a name-based **router registry** mirroring the engine registry of
+:mod:`repro.sim.engine`:
+
+``"greedy-swap"``
+    :class:`GreedySwapRouter` (this module, the default): walks the circuit
+    in program order and, whenever a gate's operands do not form a connected
+    patch of the coupling map, moves the farthest operand one coupling edge
+    at a time towards the rest, inserting SWAP gates (tagged ``"routing"``)
+    and updating the logical-to-physical layout as it goes.
+
+``"lookahead"``
+    :class:`~repro.hardware.lookahead.LookaheadSwapRouter`: SABRE-style
+    front-layer routing with an extended lookahead window, a decay-weighted
+    distance heuristic and a forward/backward/forward pass that also selects
+    the initial layout.
 
 Greedy routing is not as SWAP-frugal as SABRE, but it preserves exactly what
 Figure 12 needs: a functionally correct physical circuit whose extra SWAPs
 scale with the mismatch between the QRAM's connectivity demands and the
-device, and which can be fed to the noisy Feynman-path simulator.
+device, and which can be fed to the noisy Feynman-path simulator.  Routers
+resolve by name through :func:`make_router`; the module-level default
+(``"greedy-swap"``) can be swapped globally with :func:`set_default_router`,
+which is how ``python -m repro.experiments --router`` reroutes every scenario
+compile without threading a parameter through each runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import networkx as nx
 import numpy as np
@@ -61,9 +77,61 @@ class RoutedCircuit:
         return PathState(bits=bits, amplitudes=state.amplitudes.copy())
 
 
+def check_layout(
+    circuit: QuantumCircuit, layout: dict[int, int], device: DeviceModel
+) -> None:
+    """Validate a logical-to-physical layout for ``circuit`` on ``device``."""
+    if set(layout) != set(range(circuit.num_qubits)):
+        raise ValueError("initial layout must cover every logical qubit exactly once")
+    placements = list(layout.values())
+    if len(set(placements)) != len(placements):
+        raise ValueError("initial layout maps two logical qubits to one physical qubit")
+    for physical in placements:
+        if not 0 <= physical < device.num_qubits:
+            raise ValueError(f"physical qubit {physical} outside the device")
+
+
+def apply_swap(
+    physical_a: int,
+    physical_b: int,
+    logical_to_physical: dict[int, int],
+    physical_to_logical: dict[int, int],
+    routed: QuantumCircuit | None,
+) -> None:
+    """Record one routing SWAP and update both layout directions.
+
+    ``routed`` may be ``None`` for layout-selection passes that only need the
+    final layout, not the routed instructions.
+    """
+    if routed is not None:
+        routed.append(
+            Instruction(
+                gate="SWAP",
+                qubits=(physical_a, physical_b),
+                tags=frozenset({"routing"}),
+            )
+        )
+    logical_a = physical_to_logical.get(physical_a)
+    logical_b = physical_to_logical.get(physical_b)
+    if logical_a is not None:
+        logical_to_physical[logical_a] = physical_b
+    if logical_b is not None:
+        logical_to_physical[logical_b] = physical_a
+    if logical_a is not None:
+        physical_to_logical[physical_b] = logical_a
+    elif physical_b in physical_to_logical:
+        del physical_to_logical[physical_b]
+    if logical_b is not None:
+        physical_to_logical[physical_a] = logical_b
+    elif physical_a in physical_to_logical:
+        del physical_to_logical[physical_a]
+
+
 @dataclass
 class GreedySwapRouter:
     """Route circuits onto a :class:`DeviceModel` by greedy SWAP insertion."""
+
+    name: ClassVar[str] = "greedy-swap"
 
     device: DeviceModel
     _graph: nx.Graph = field(init=False, repr=False)
@@ -123,14 +191,7 @@ class GreedySwapRouter:
 
     # ----------------------------------------------------------------- helpers
     def _check_layout(self, circuit: QuantumCircuit, layout: dict[int, int]) -> None:
-        if set(layout) != set(range(circuit.num_qubits)):
-            raise ValueError("initial layout must cover every logical qubit exactly once")
-        placements = list(layout.values())
-        if len(set(placements)) != len(placements):
-            raise ValueError("initial layout maps two logical qubits to one physical qubit")
-        for physical in placements:
-            if not 0 <= physical < self.device.num_qubits:
-                raise ValueError(f"physical qubit {physical} outside the device")
+        check_layout(circuit, layout, self.device)
 
     def _operands_connected(self, physical: list[int]) -> bool:
         if len(physical) <= 1:
@@ -224,22 +285,63 @@ class GreedySwapRouter:
         physical_to_logical: dict[int, int],
         routed: QuantumCircuit,
     ) -> None:
-        routed.append(
-            Instruction(
-                gate="SWAP", qubits=(physical_a, physical_b), tags=frozenset({"routing"})
-            )
+        apply_swap(
+            physical_a, physical_b, logical_to_physical, physical_to_logical, routed
         )
-        logical_a = physical_to_logical.get(physical_a)
-        logical_b = physical_to_logical.get(physical_b)
-        if logical_a is not None:
-            logical_to_physical[logical_a] = physical_b
-        if logical_b is not None:
-            logical_to_physical[logical_b] = physical_a
-        if logical_a is not None:
-            physical_to_logical[physical_b] = logical_a
-        elif physical_b in physical_to_logical:
-            del physical_to_logical[physical_b]
-        if logical_b is not None:
-            physical_to_logical[physical_a] = logical_b
-        elif physical_a in physical_to_logical:
-            del physical_to_logical[physical_a]
+
+
+# ===================================================================== registry
+_ROUTERS: dict[str, type] = {}
+_DEFAULT_ROUTER = "greedy-swap"
+
+
+def register_router(router_class: type, *, aliases: tuple[str, ...] = ()) -> type:
+    """Register ``router_class`` under its ``name`` (plus ``aliases``)."""
+    for key in (router_class.name, *aliases):
+        _ROUTERS[key] = router_class
+    return router_class
+
+
+def available_routers() -> list[str]:
+    """Sorted names of every registered router."""
+    return sorted(_ROUTERS)
+
+
+def get_router_class(spec: str | type | None = None) -> type:
+    """Resolve a router name (``None`` means the current default) to its class."""
+    if isinstance(spec, type):
+        return spec
+    key = _DEFAULT_ROUTER if spec is None else spec
+    try:
+        return _ROUTERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown router {key!r}; available: {available_routers()}"
+        ) from None
+
+
+def make_router(spec: str | type | None, device: DeviceModel, **options):
+    """Instantiate the router named ``spec`` (or the default) for ``device``.
+
+    Unlike engines, routers are stateful per device (they precompute the
+    coupling graph and distance tables), so the registry stores classes and
+    this factory builds a fresh instance; ``options`` forward to the router's
+    constructor (e.g. the lookahead window size).
+    """
+    return get_router_class(spec)(device, **options)
+
+
+def get_default_router() -> str:
+    """Name of the router used when none is specified."""
+    return _DEFAULT_ROUTER
+
+
+def set_default_router(name: str) -> None:
+    """Globally switch the default router (e.g. from the experiments CLI)."""
+    global _DEFAULT_ROUTER
+    if name not in _ROUTERS:
+        raise KeyError(f"unknown router {name!r}; available: {available_routers()}")
+    _DEFAULT_ROUTER = name
+
+
+register_router(GreedySwapRouter)

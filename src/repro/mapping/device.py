@@ -4,8 +4,9 @@
 overhead analytically (Figure 8); the scenario subsystem needs the routing to
 be **executable** so that every inserted SWAP actually incurs gate noise.
 This module bridges the two views: it turns an
-:class:`~repro.mapping.htree.HTreeEmbedding` into a coupling map the greedy
-router (:class:`~repro.hardware.router.GreedySwapRouter`) can route onto.
+:class:`~repro.mapping.htree.HTreeEmbedding` into a coupling map any
+registered SWAP router (:func:`repro.hardware.router.make_router`: the
+greedy walker or the SABRE-style lookahead pass) can route onto.
 
 Each H-tree *node* hosts a small cluster of logical qubits (router + wire +
 data qubits of that tree node; address, SQC and bus registers co-locate with
@@ -55,6 +56,18 @@ class HTreeDevice:
     initial_layout: dict[int, int]
     num_logical: int
     num_routing: int
+
+    def route(self, circuit: QuantumCircuit, *, router: str | None = None):
+        """Route ``circuit`` onto this device from its cluster layout.
+
+        ``router`` names a registered router
+        (:func:`repro.hardware.router.make_router`); ``None`` uses the
+        session default.  Returns a
+        :class:`~repro.hardware.router.RoutedCircuit`.
+        """
+        from repro.hardware.router import make_router
+
+        return make_router(router, self.device).route(circuit, self.initial_layout)
 
 
 def htree_device(

@@ -17,6 +17,16 @@ Three families, all registered at import time:
 * **Idle-noise ablations** (``ideal-m3-idle`` / ``perth-m1-idle``): the same
   workloads with schedule-aware idle dephasing switched from 0 to the device
   calibration, isolating what waiting qubits cost.
+
+* **Router ablations** (``perth-m1-lookahead`` / ``guadalupe-m2-lookahead``):
+  the device studies re-routed with the SABRE-style lookahead router -- same
+  workload and noise, fewer SWAPs, so the fidelity at equal ``eps_r`` comes
+  out *above* the greedy-routed variant (routing quality is a noise lever).
+
+* **Readout ablation** (``perth-m1-readout``): the ``m = 1`` device study
+  with the device's readout-error calibration folded into the fidelity
+  (each kept qubit survives readout with probability
+  ``1 - readout_error / eps_r``).
 """
 
 from __future__ import annotations
@@ -82,6 +92,35 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         mapping="device",
         device="ibm_perth",
         idle_error=None,
+        error_reduction_factors=(1.0, 10.0, 100.0, 1000.0),
+    ),
+    ScenarioSpec(
+        name="perth-m1-lookahead",
+        description="perth-m1 re-routed with the SABRE-style lookahead router",
+        qram_width=1,
+        sqc_width=1,
+        mapping="device",
+        device="ibm_perth",
+        router="lookahead",
+        error_reduction_factors=(1.0, 10.0, 100.0, 1000.0),
+    ),
+    ScenarioSpec(
+        name="guadalupe-m2-lookahead",
+        description="guadalupe-m2 re-routed with the SABRE-style lookahead router",
+        qram_width=2,
+        mapping="device",
+        device="ibmq_guadalupe",
+        router="lookahead",
+        error_reduction_factors=(1.0, 10.0, 100.0, 1000.0),
+    ),
+    ScenarioSpec(
+        name="perth-m1-readout",
+        description="perth-m1 with device readout error folded into fidelity",
+        qram_width=1,
+        sqc_width=1,
+        mapping="device",
+        device="ibm_perth",
+        readout=True,
         error_reduction_factors=(1.0, 10.0, 100.0, 1000.0),
     ),
 )

@@ -31,13 +31,19 @@ Mapping strategies
     explicit EPR/Bell constructions need ``H`` and measurement).
 
 ``device``
-    Route onto a named sparse backend with the greedy SWAP router -- the
-    Figure 12 methodology, now composable with idle noise and sweeps.
+    Route onto a named sparse backend -- the Figure 12 methodology, now
+    composable with idle noise and sweeps.
+
+Both swap-routed mappings resolve their router through the registry of
+:mod:`repro.hardware.router` (``spec.router``, or the session default when
+the spec leaves it ``None``): ``"greedy-swap"`` reproduces the historical
+behaviour bit for bit, ``"lookahead"`` routes SABRE-style with fewer SWAPs
+and a searched initial layout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 from repro.circuit.circuit import QuantumCircuit
@@ -45,7 +51,7 @@ from repro.circuit.scheduling import circuit_depth
 from repro.experiments.common import random_memory
 from repro.hardware.devices import DEVICES, DeviceModel, grid_device
 from repro.hardware.noise_model import scheduled_device_noise_model
-from repro.hardware.router import GreedySwapRouter
+from repro.hardware.router import get_default_router, make_router
 from repro.mapping.device import htree_device
 from repro.mapping.grid import Grid2D
 from repro.mapping.htree import HTreeEmbedding
@@ -107,6 +113,24 @@ class CompiledScenario:
         if self.spec.idle_error is not None:
             return self.spec.idle_error
         return self.device.idle_error
+
+    @property
+    def readout_error_rate(self) -> float:
+        """Per-qubit readout error rate at ``eps_r = 1`` (0.0 when not folded)."""
+        return self.device.readout_error if self.spec.readout else 0.0
+
+    def readout_survival(self, error_reduction_factor: float) -> float:
+        """Probability every kept qubit reads out correctly at one ``eps_r``.
+
+        Readout is one measurement per kept qubit at the end of the query,
+        so its closed form multiplies the state-overlap fidelity:
+        ``(1 - readout_error / eps_r) ** len(keep_qubits)``.  Returns 1.0
+        unless the spec opted in via :attr:`ScenarioSpec.readout`.
+        """
+        if not self.spec.readout:
+            return 1.0
+        rate = self.device.readout_error / error_reduction_factor
+        return (1.0 - rate) ** len(self.keep_qubits)
 
     def noise_model(self, error_reduction_factor: float) -> NoiseModel:
         """Instantiate the scenario's noise at one error-reduction factor.
@@ -184,14 +208,24 @@ def _teleport_link_sites(
     return tuple(sites)
 
 
-@lru_cache(maxsize=32)
 def compile_scenario(spec: ScenarioSpec, seed: int) -> CompiledScenario:
     """Build, embed and route one scenario (memoised per process).
 
-    The cache is what lets every ``(sweep point, shot shard)`` work unit
-    landing on a pool worker reuse the routed circuit and precomputed
-    states, mirroring the Figure 12 bundle pattern.
+    A spec with ``router=None`` is first pinned to the *current* default
+    router, so the memoised result can never go stale when the session
+    default changes (and ``CompiledScenario.spec.router`` always names the
+    router that actually ran).  The cache is what lets every
+    ``(sweep point, shot shard)`` work unit landing on a pool worker reuse
+    the routed circuit and precomputed states, mirroring the Figure 12
+    bundle pattern.
     """
+    if spec.router is None:
+        spec = replace(spec, router=get_default_router())
+    return _compile_resolved(spec, seed)
+
+
+@lru_cache(maxsize=32)
+def _compile_resolved(spec: ScenarioSpec, seed: int) -> CompiledScenario:
     architecture = _build_architecture(spec, seed)
     logical = architecture.build_circuit()
     logical_input = architecture.input_state()
@@ -234,11 +268,11 @@ def compile_scenario(spec: ScenarioSpec, seed: int) -> CompiledScenario:
     if spec.mapping == "htree":
         embedding = HTreeEmbedding(tree_depth=spec.qram_width)
         layout = htree_device(embedding, logical, calibration=calibration)
-        routed = GreedySwapRouter(layout.device).route(
+        routed = make_router(spec.router, layout.device).route(
             logical, layout.initial_layout
         )
     else:  # mapping == "device"
-        routed = GreedySwapRouter(calibration).route(logical)
+        routed = make_router(spec.router, calibration).route(logical)
 
     return CompiledScenario(
         spec=spec,

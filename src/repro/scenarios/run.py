@@ -13,9 +13,12 @@ and ad-hoc specs alike.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.experiments.common import format_table, resolve_seed
+from repro.hardware.router import get_default_router
 from repro.scenarios.compile import CompiledScenario, compile_scenario
 from repro.scenarios.spec import ScenarioSpec, get_scenario
 from repro.sim.engine import get_default_engine
@@ -36,6 +39,11 @@ def _scenario_shard(spec_bundle: tuple, shard: ShotShard) -> np.ndarray:
         ideal_output=compiled.ideal_output,
         rng=shard.seeds(),
     )
+    # Readout error is one closed-form survival factor per shot (no random
+    # stream consumed), so folding it here keeps sharding bit-identical.
+    survival = compiled.readout_survival(factor)
+    if survival != 1.0:
+        return result.fidelities * survival
     return result.fidelities
 
 
@@ -57,6 +65,12 @@ def _point_record(
         "routing": spec.routing if spec.mapping == "htree" else (
             "swap" if spec.mapping == "device" else "-"
         ),
+        "router": (
+            spec.router
+            if spec.mapping == "device"
+            or (spec.mapping == "htree" and spec.routing == "swap")
+            else "-"
+        ),
         "device": compiled.device.name,
         "num_qubits": compiled.circuit.num_qubits,
         "logical_gates": compiled.logical_gates,
@@ -66,6 +80,7 @@ def _point_record(
         "logical_depth": compiled.logical_depth,
         "executed_depth": compiled.executed_depth,
         "idle_error": compiled.idle_error_rate,
+        "readout_error": compiled.readout_error_rate,
         "error_reduction_factor": factor,
         "shots": shots,
         "engine": engine,
@@ -91,6 +106,11 @@ def run_scenario(
     ``workers`` and ``shard_size``.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if spec.router is None:
+        # Resolve the session-default router here, like the engine: the spec
+        # is pickled into pool workers, and a spawned worker's module-global
+        # default would silently fall back to the greedy router.
+        spec = replace(spec, router=get_default_router())
     seed_value = resolve_seed(seed)
     engine_name = get_default_engine() if engine is None else engine
     shot_count = spec.shots if shots is None else shots
@@ -127,12 +147,13 @@ def scenario_report(
         f"Scenario '{spec.name}': {spec.description}\n"
         f"  architecture={spec.architecture} m={spec.qram_width} "
         f"k={spec.sqc_width} mapping={spec.mapping} routing={first['routing']} "
-        f"device={first['device']}\n"
+        f"router={first['router']} device={first['device']}\n"
         f"  qubits={first['num_qubits']} gates={first['executed_gates']} "
         f"(logical {first['logical_gates']}) "
         f"depth={first['executed_depth']} (logical {first['logical_depth']}) "
         f"extra_swaps={first['extra_swaps']} "
-        f"link_ops={first['link_operations']} idle_error={first['idle_error']}\n"
+        f"link_ops={first['link_operations']} idle_error={first['idle_error']} "
+        f"readout_error={first['readout_error']}\n"
         f"  shots={first['shots']} engine={first['engine']}"
     )
     columns = ["error_reduction_factor", "fidelity", "std_error"]

@@ -44,6 +44,12 @@ class ScenarioSpec:
         charges the entanglement-link noise of the consumed routing qubits.
         ``mapping="device"`` always swap-routes; ``mapping="none"`` ignores
         this field.
+    router:
+        Which registered SWAP router inserts the routing SWAPs (see
+        :mod:`repro.hardware.router`): ``"greedy-swap"`` or ``"lookahead"``.
+        ``None`` uses the session default
+        (:func:`~repro.hardware.router.get_default_router`, the CLI
+        ``--router`` override).  Ignored unless the mapping swap-routes.
     device:
         Name in :data:`repro.hardware.devices.DEVICES` supplying topology
         (for ``mapping="device"``) and/or calibration.  ``None`` uses the
@@ -55,6 +61,15 @@ class ScenarioSpec:
         Per-idle-layer dephasing probability at ``eps_r = 1``.  ``0.0``
         disables idle noise; ``None`` uses the device calibration's
         :attr:`~repro.hardware.devices.DeviceModel.idle_error`.
+    readout:
+        When True, fold the device calibration's
+        :attr:`~repro.hardware.devices.DeviceModel.readout_error` into every
+        sweep point's fidelity: each kept qubit survives readout with
+        probability ``1 - readout_error / eps_r``, so the recorded fidelity
+        is multiplied by ``(1 - readout_error / eps_r) ** len(keep_qubits)``
+        (see :meth:`~repro.scenarios.compile.CompiledScenario.readout_survival`).
+        Off by default -- the paper's fidelity experiments measure state
+        overlap without readout noise.
     shots:
         Default Monte-Carlo shots per sweep point (CLI ``--shots`` overrides).
     """
@@ -66,13 +81,16 @@ class ScenarioSpec:
     sqc_width: int = 0
     mapping: str = "none"
     routing: str = "swap"
+    router: str | None = None
     device: str | None = None
     error_reduction_factors: tuple[float, ...] = (1.0, 10.0, 100.0)
     idle_error: float | None = 0.0
+    readout: bool = False
     shots: int = 200
 
     def __post_init__(self) -> None:
         from repro.hardware.devices import DEVICES
+        from repro.hardware.router import available_routers
 
         if not self.name:
             raise ValueError("scenario name must be non-empty")
@@ -88,6 +106,11 @@ class ScenarioSpec:
         if self.routing not in ROUTINGS:
             raise ValueError(
                 f"unknown routing {self.routing!r}; choose from {ROUTINGS}"
+            )
+        if self.router is not None and self.router not in available_routers():
+            raise ValueError(
+                f"unknown router {self.router!r}; "
+                f"available: {available_routers()}"
             )
         if self.qram_width < 1:
             raise ValueError("qram_width must be at least 1")

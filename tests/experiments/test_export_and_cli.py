@@ -116,6 +116,46 @@ class TestCommandLine:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9", "--engine", "warp-drive"])
 
+    def test_router_flag_selects_router_and_restores_default(self, capsys):
+        from repro.hardware import get_default_router
+
+        previous = get_default_router()
+        assert (
+            main(
+                [
+                    "scenario",
+                    "perth-m1",
+                    "--shots",
+                    "8",
+                    "--seed",
+                    "3",
+                    "--router",
+                    "lookahead",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "router=lookahead" in out
+        assert get_default_router() == previous
+
+    def test_router_flag_reduces_extra_swaps(self, capsys):
+        base = ["scenario", "perth-m1", "--shots", "8", "--seed", "3"]
+        assert main(base) == 0
+        greedy_out = capsys.readouterr().out
+        assert main(base + ["--router", "lookahead"]) == 0
+        lookahead_out = capsys.readouterr().out
+
+        def swaps(out: str) -> int:
+            marker = "extra_swaps="
+            return int(out.split(marker)[1].split()[0])
+
+        assert swaps(lookahead_out) <= swaps(greedy_out)
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "perth-m1", "--router", "oracle"])
+
     def test_statevector_engine_on_noisy_figure_fails_cleanly(self, capsys):
         # The dense engine cannot run Monte-Carlo noise: the CLI must report
         # that as an error message, not an unhandled traceback.

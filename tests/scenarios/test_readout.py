@@ -1,0 +1,82 @@
+"""Readout-error folding: closed form, opt-in gating, and record plumbing.
+
+The closed form being pinned: reading out ``k`` kept qubits, each
+misreporting with probability ``p / eps_r``, multiplies the state-overlap
+fidelity by ``(1 - p / eps_r) ** k``.  Because the survival factor is
+analytic (no random stream is consumed), a readout-enabled run must equal
+the readout-free run scaled by exactly that factor, shot for shot -- the
+same mirror-the-closed-form style as ``tests/sim/test_idle_noise.py``.
+"""
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, compile_scenario, run_scenario
+from repro.scenarios.compile import REFERENCE_CALIBRATION
+from repro.scenarios.spec import get_scenario
+
+SEED = 5
+SHOTS = 32
+
+
+def _spec(readout: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"readout-probe-{readout}",
+        description="readout folding probe",
+        qram_width=1,
+        mapping="none",
+        readout=readout,
+        error_reduction_factors=(1.0, 10.0),
+    )
+
+
+class TestReadoutSurvival:
+    def test_survival_closed_form(self):
+        compiled = compile_scenario(_spec(True), SEED)
+        p = REFERENCE_CALIBRATION.readout_error
+        k = len(compiled.keep_qubits)
+        assert k > 0
+        for factor in (1.0, 10.0, 100.0):
+            assert compiled.readout_survival(factor) == pytest.approx(
+                (1.0 - p / factor) ** k
+            )
+
+    def test_opt_out_is_the_default_and_survives_at_one(self):
+        spec = _spec(False)
+        assert ScenarioSpec(name="d", description="d").readout is False
+        compiled = compile_scenario(spec, SEED)
+        assert compiled.readout_error_rate == 0.0
+        assert compiled.readout_survival(1.0) == 1.0
+
+    def test_fidelity_scaled_by_exactly_the_closed_form(self):
+        """Readout on == readout off x (1 - p/eps_r)^k at every sweep point."""
+        plain = run_scenario(_spec(False), shots=SHOTS, seed=SEED)
+        folded = run_scenario(_spec(True), shots=SHOTS, seed=SEED)
+        compiled = compile_scenario(_spec(True), SEED)
+        for bare, dressed in zip(plain, folded):
+            factor = bare["error_reduction_factor"]
+            survival = compiled.readout_survival(factor)
+            assert dressed["fidelity"] == pytest.approx(
+                bare["fidelity"] * survival, rel=1e-12
+            )
+            assert dressed["fidelity"] < bare["fidelity"]
+
+    def test_records_expose_the_rate(self):
+        records = run_scenario(_spec(True), shots=8, seed=SEED)
+        assert records[0]["readout_error"] == REFERENCE_CALIBRATION.readout_error
+        bare = run_scenario(_spec(False), shots=8, seed=SEED)
+        assert bare[0]["readout_error"] == 0.0
+
+    def test_builtin_readout_scenario_uses_device_calibration(self):
+        spec = get_scenario("perth-m1-readout")
+        assert spec.readout is True
+        compiled = compile_scenario(spec, SEED)
+        assert compiled.readout_error_rate == compiled.device.readout_error
+        assert 0.0 < compiled.readout_survival(1.0) < 1.0
+
+    def test_sharding_invariance_with_readout(self):
+        """The analytic factor must not break bit-identical sharded sweeps."""
+        serial = run_scenario(_spec(True), shots=SHOTS, seed=SEED, workers=1)
+        sharded = run_scenario(
+            _spec(True), shots=SHOTS, seed=SEED, workers=4, shard_size=8
+        )
+        assert serial == sharded

@@ -30,6 +30,16 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="routing"):
             ScenarioSpec(name="x", description="d", routing="tunnel")
 
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="router"):
+            ScenarioSpec(name="x", description="d", router="oracle")
+
+    def test_registered_routers_accepted(self):
+        for router in ("greedy-swap", "lookahead"):
+            spec = ScenarioSpec(name="x", description="d", router=router)
+            assert spec.router == router
+        assert ScenarioSpec(name="x", description="d").router is None
+
     def test_device_mapping_needs_device(self):
         with pytest.raises(ValueError, match="named device"):
             ScenarioSpec(name="x", description="d", mapping="device")
