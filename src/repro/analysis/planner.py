@@ -57,6 +57,7 @@ class DeploymentPlan:
         return self.code_design.total_physical_qubits(tree_logical, self.k)
 
     def summary(self) -> dict:
+        """Plain-dict summary of the plan (for tables and JSON export)."""
         return {
             "memory_size": self.memory_size,
             "m": self.m,

@@ -115,6 +115,7 @@ class SurfaceCodeDesign:
         )
 
     def summary(self) -> dict:
+        """Plain-dict summary of the surface-code analysis."""
         return {
             "m": self.m,
             "k": self.k,

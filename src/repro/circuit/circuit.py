@@ -14,12 +14,18 @@ from repro.circuit.registers import QubitRegister
 class QuantumCircuit:
     """An ordered list of gate applications over ``num_qubits`` qubits.
 
-    The circuit is deliberately simple: there is no classical register and no
-    mid-circuit measurement.  Classically-controlled gates (conditioned on
-    bits of the classical memory being queried) are resolved at construction
-    time -- the gate is appended only when the classical condition holds, and
-    it is tagged ``"classical"`` so that Table 1's accounting of
-    classically-controlled gates can be reproduced from the built circuit.
+    Classically-controlled gates conditioned on *memory contents* are
+    resolved at construction time -- the gate is appended only when the
+    classical condition holds, and it is tagged ``"classical"`` so that
+    Table 1's accounting of classically-controlled gates can be reproduced
+    from the built circuit.
+
+    Mid-circuit measurement is supported through two instructions:
+    :meth:`measure` records a qubit's ``Z``- or ``X``-basis outcome into a
+    classical bit, and :meth:`cpauli` applies a Pauli correction conditioned
+    on the XOR of recorded outcomes (Pauli-frame feedforward).  Classical
+    bits form a flat register of size :attr:`num_clbits`, allocated
+    implicitly by :meth:`measure` or explicitly via its ``cbit`` argument.
 
     Parameters
     ----------
@@ -44,8 +50,10 @@ class QuantumCircuit:
     def __post_init__(self) -> None:
         if self.num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
+        self._num_clbits = 0
         for instr in self.instructions:
             self._check_bounds(instr)
+            self._track_clbits(instr)
 
     # ------------------------------------------------------------------ basics
     def _check_bounds(self, instr: Instruction) -> None:
@@ -55,10 +63,20 @@ class QuantumCircuit:
                 f"range(0, {self.num_qubits})"
             )
 
+    def _track_clbits(self, instr: Instruction) -> None:
+        if instr.is_measurement:
+            self._num_clbits = max(self._num_clbits, instr.cbit + 1)
+
+    @property
+    def num_clbits(self) -> int:
+        """Size of the classical register (one slot per recorded measurement)."""
+        return self._num_clbits
+
     def append(self, instr: Instruction) -> None:
         """Append a prepared :class:`Instruction` (invalidates the compiled tape)."""
         self._check_bounds(instr)
         self.instructions.append(instr)
+        self._track_clbits(instr)
         self._tape = None
 
     def extend(self, instrs: Iterable[Instruction]) -> None:
@@ -81,45 +99,59 @@ class QuantumCircuit:
 
     # ---------------------------------------------------------- gate builders
     def i(self, qubit: int, **kw) -> None:
+        """Append an identity gate on ``qubit``."""
         self.add("I", qubit, **kw)
 
     def x(self, qubit: int, **kw) -> None:
+        """Append an ``X`` gate on ``qubit``."""
         self.add("X", qubit, **kw)
 
     def y(self, qubit: int, **kw) -> None:
+        """Append a ``Y`` gate on ``qubit``."""
         self.add("Y", qubit, **kw)
 
     def z(self, qubit: int, **kw) -> None:
+        """Append a ``Z`` gate on ``qubit``."""
         self.add("Z", qubit, **kw)
 
     def h(self, qubit: int, **kw) -> None:
+        """Append a Hadamard gate on ``qubit``."""
         self.add("H", qubit, **kw)
 
     def s(self, qubit: int, **kw) -> None:
+        """Append an ``S`` phase gate on ``qubit``."""
         self.add("S", qubit, **kw)
 
     def sdg(self, qubit: int, **kw) -> None:
+        """Append an ``S``-dagger gate on ``qubit``."""
         self.add("SDG", qubit, **kw)
 
     def t(self, qubit: int, **kw) -> None:
+        """Append a ``T`` gate on ``qubit``."""
         self.add("T", qubit, **kw)
 
     def tdg(self, qubit: int, **kw) -> None:
+        """Append a ``T``-dagger gate on ``qubit``."""
         self.add("TDG", qubit, **kw)
 
     def cx(self, control: int, target: int, **kw) -> None:
+        """Append a CNOT with the given control and target."""
         self.add("CX", control, target, **kw)
 
     def cz(self, control: int, target: int, **kw) -> None:
+        """Append a controlled-``Z`` between the two qubits."""
         self.add("CZ", control, target, **kw)
 
     def swap(self, a: int, b: int, **kw) -> None:
+        """Append a SWAP of qubits ``a`` and ``b``."""
         self.add("SWAP", a, b, **kw)
 
     def ccx(self, control_a: int, control_b: int, target: int, **kw) -> None:
+        """Append a Toffoli (two controls, one target)."""
         self.add("CCX", control_a, control_b, target, **kw)
 
     def cswap(self, control: int, a: int, b: int, **kw) -> None:
+        """Append a Fredkin gate (``control`` swaps ``a`` and ``b``)."""
         self.add("CSWAP", control, a, b, **kw)
 
     def mcx(self, controls: Sequence[int], target: int, **kw) -> None:
@@ -163,6 +195,58 @@ class QuantumCircuit:
         self.mcx(controls, target, **kw)
         for q in zero_controls:
             self.x(q)
+
+    def measure(
+        self,
+        qubit: int,
+        cbit: int | None = None,
+        *,
+        basis: str = "Z",
+        tags: Iterable[str] = (),
+    ) -> int:
+        """Measure ``qubit`` mid-circuit and record the outcome; return the cbit.
+
+        ``basis`` is ``"Z"`` (computational) or ``"X"`` (Hadamard, the basis
+        teleportation measures in).  ``cbit`` names the classical result
+        slot; ``None`` allocates the next free slot.  The outcome is sampled
+        at execution time by the engines (see :mod:`repro.sim.engine`) --
+        per shot, from the shot's own seeded stream.
+        """
+        slot = self._num_clbits if cbit is None else cbit
+        self.append(
+            Instruction(
+                gate="MEASURE",
+                qubits=(qubit,),
+                tags=frozenset(tags),
+                params=(slot, basis),
+            )
+        )
+        return slot
+
+    def cpauli(
+        self,
+        pauli: str,
+        qubit: int,
+        condition_bits: Sequence[int],
+        *,
+        tags: Iterable[str] = (),
+    ) -> None:
+        """Apply ``pauli`` to ``qubit`` when the XOR of ``condition_bits`` is 1.
+
+        This is the feedforward half of measurement-based teleportation: the
+        correction is conditioned on earlier :meth:`measure` outcomes and is
+        tracked as a Pauli-frame update -- noise models and the depth
+        scheduler treat it as zero-cost software (see
+        :attr:`~repro.circuit.instruction.Instruction.is_frame`).
+        """
+        self.append(
+            Instruction(
+                gate="CPAULI",
+                qubits=(qubit,),
+                tags=frozenset(tags),
+                params=(pauli, *condition_bits),
+            )
+        )
 
     def barrier(self, *qubits: int) -> None:
         """Insert a scheduling barrier.

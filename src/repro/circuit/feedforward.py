@@ -1,0 +1,50 @@
+"""The one-bit teleportation hop gadget shared by every link emitter.
+
+Measurement-based links are built from a single primitive (Zhou-Leung-Chuang
+one-bit teleportation): move a payload from ``source`` onto a fresh ``|0>``
+``target`` with ``CX source->target``, an X-basis measurement of the source,
+a ``Z`` frame correction on the target and an ``X`` frame resetting the
+source.  Both link emitters -- the H-tree expansion
+(:mod:`repro.mapping.teleport`) and the teleport-aware router
+(:mod:`repro.hardware.teleport_router`) -- emit hops through this module, so
+the gadget's convention (gate order, basis, frame targets) is defined
+exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+
+#: Tag carried by every entanglement-link operation a hop emits.
+LINK_TAG = "teleport"
+
+
+def emit_hop(circuit: QuantumCircuit, source: int, target: int) -> int:
+    """Append one teleportation hop ``source -> target``; return the cbit.
+
+    ``target`` must be in ``|0>`` (a fresh routing vertex, one reset by a
+    previous hop's frame, or a destination a ``move:<k>`` tag declares
+    empty).  After the hop the payload sits on ``target`` and ``source`` is
+    frame-reset to ``|0>``.  All four instructions are tagged
+    :data:`LINK_TAG`; the hop CX is the link's only noise-bearing gate
+    (measurements and frames are free, see :mod:`repro.sim.noise`).
+    """
+    circuit.cx(source, target, tags=(LINK_TAG,))
+    cbit = circuit.measure(source, basis="X", tags=(LINK_TAG,))
+    circuit.cpauli("Z", target, [cbit], tags=(LINK_TAG,))
+    circuit.cpauli("X", source, [cbit], tags=(LINK_TAG,))
+    return cbit
+
+
+def emit_disentangle(circuit: QuantumCircuit, vertex: int, control: int) -> int:
+    """Uncompute a CX-ladder copy on ``vertex``; return the cbit.
+
+    The vertex holds a coherent copy of ``control``: an X measurement turns
+    the copy into a phase ``(-1)**(control * m)``, corrected by a ``Z``
+    frame on the original control, and an ``X`` frame resets the vertex for
+    reuse.
+    """
+    cbit = circuit.measure(vertex, basis="X", tags=(LINK_TAG,))
+    circuit.cpauli("Z", control, [cbit], tags=(LINK_TAG,))
+    circuit.cpauli("X", vertex, [cbit], tags=(LINK_TAG,))
+    return cbit

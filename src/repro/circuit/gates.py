@@ -11,12 +11,20 @@ the structural facts the rest of the library relies on:
   Table 2);
 * whether it is diagonal in the computational basis (such gates only add
   phases along a path and never branch it);
-* whether it is self-inverse, and if not, the name of its inverse.
+* whether it is self-inverse, and if not, the name of its inverse;
+* whether it is unitary at all -- ``MEASURE`` collapses its qubit and has no
+  inverse, and ``CPAULI`` (a classically-controlled Pauli-frame correction)
+  is only defined together with the measurement record it is conditioned on.
 
 The registry is intentionally small: QRAM circuits only need classical
 reversible gates plus Pauli errors, and the statevector reference simulator
 additionally understands ``H``, ``S`` and ``T`` so that decomposed circuits
-can be validated against it in the test suite.
+can be validated against it in the test suite.  Mid-circuit measurement
+(``MEASURE``) and feedforward Pauli corrections (``CPAULI``) were added for
+the executed teleportation links of Sec. 4.3: both stay inside the
+Feynman-path-simulable set because a sampled measurement outcome turns the
+projection into a per-path bit/phase update (see
+:mod:`repro.sim.engine`).
 """
 
 from __future__ import annotations
@@ -45,6 +53,12 @@ class GateSpec:
         True when the gate is its own inverse.
     inverse_name:
         Name of the inverse gate (equals ``name`` for self-inverse gates).
+    unitary:
+        False for instructions that are not unitary operations on the
+        quantum state: ``MEASURE`` (projective, irreversible) and ``CPAULI``
+        (unitary only relative to a classical measurement record).
+        :meth:`repro.circuit.instruction.Instruction.inverse` refuses to
+        invert non-unitary instructions.
     """
 
     name: str
@@ -54,6 +68,7 @@ class GateSpec:
     diagonal: bool
     self_inverse: bool
     inverse_name: str
+    unitary: bool = True
 
 
 def _spec(
@@ -65,6 +80,7 @@ def _spec(
     diagonal: bool,
     self_inverse: bool = True,
     inverse_name: str | None = None,
+    unitary: bool = True,
 ) -> GateSpec:
     return GateSpec(
         name=name,
@@ -74,6 +90,7 @@ def _spec(
         diagonal=diagonal,
         self_inverse=self_inverse,
         inverse_name=inverse_name if inverse_name is not None else name,
+        unitary=unitary,
     )
 
 
@@ -134,6 +151,32 @@ ALL_GATES: dict[str, GateSpec] = {
     # --- variable-arity gates -------------------------------------------------
     # MCX(controls..., target); the number of controls is len(qubits) - 1.
     "MCX": _spec("MCX", None, classical_reversible=True, clifford=False, diagonal=False),
+    # --- measurement and feedforward -----------------------------------------
+    # MEASURE(q) projects one qubit in the Z or X basis (the basis and the
+    # classical result slot travel in Instruction.params) and records the
+    # outcome; CPAULI(q) applies a Pauli correction conditioned on the XOR of
+    # recorded outcomes -- the Pauli-frame feedforward of the executed
+    # teleportation links.  Neither is unitary in the ordinary sense, so both
+    # refuse inversion; CPAULI is marked self-inverse because replaying it
+    # under the same classical record undoes it.
+    "MEASURE": _spec(
+        "MEASURE",
+        1,
+        classical_reversible=False,
+        clifford=True,
+        diagonal=False,
+        self_inverse=False,
+        unitary=False,
+    ),
+    "CPAULI": _spec(
+        "CPAULI",
+        1,
+        classical_reversible=False,
+        clifford=True,
+        diagonal=False,
+        self_inverse=True,
+        unitary=False,
+    ),
     # --- pseudo instructions --------------------------------------------------
     # BARRIER synchronises the listed qubits (all qubits when empty); it is
     # used to model the *non*-pipelined address loading schedule of Sec 3.2.3.
@@ -155,9 +198,17 @@ CLIFFORD_GATES: frozenset[str] = frozenset(
 #: Gates the Feynman-path simulator can execute.  In addition to the
 #: permutation gates it supports the diagonal gates (``Z``, ``CZ``, ``S``,
 #: ``T`` and their inverses) and ``Y`` because these only multiply a path's
-#: amplitude by a phase / flip one bit, never branching the path.
+#: amplitude by a phase / flip one bit, never branching the path.  ``MEASURE``
+#: and ``CPAULI`` qualify too: once the measurement outcome is sampled, the
+#: projection is a per-path bit/phase update (X basis) or an amplitude mask
+#: (Z basis), and the frame correction is an outcome-conditioned Pauli.
 PATH_SIMULABLE_GATES: frozenset[str] = REVERSIBLE_CLASSICAL_GATES | frozenset(
-    {"Y", "Z", "CZ", "S", "SDG", "T", "TDG"}
+    {"Y", "Z", "CZ", "S", "SDG", "T", "TDG", "MEASURE", "CPAULI"}
+)
+
+#: Instructions that are not unitary operations on the quantum state.
+NON_UNITARY_GATES: frozenset[str] = frozenset(
+    name for name, spec in ALL_GATES.items() if not spec.unitary
 )
 
 
@@ -190,9 +241,23 @@ def is_path_simulable(name: str) -> bool:
     return name.upper() in PATH_SIMULABLE_GATES
 
 
+def is_unitary(name: str) -> bool:
+    """True when ``name`` is a unitary operation on the quantum state."""
+    return gate_spec(name).unitary
+
+
 def inverse_gate_name(name: str) -> str:
-    """Name of the inverse of ``name``."""
-    return gate_spec(name).inverse_name
+    """Name of the inverse of ``name``.
+
+    Raises
+    ------
+    ValueError
+        For irreversible instructions (``MEASURE`` has no inverse).
+    """
+    spec = gate_spec(name)
+    if not spec.unitary and not spec.self_inverse:
+        raise ValueError(f"{spec.name} is irreversible and has no inverse")
+    return spec.inverse_name
 
 
 def validate_arity(name: str, num_qubits: int) -> None:

@@ -6,6 +6,43 @@ from dataclasses import dataclass, field
 
 from repro.circuit.gates import gate_spec, inverse_gate_name, validate_arity
 
+#: Pauli labels a ``CPAULI`` frame correction may apply.
+FRAME_PAULIS = ("X", "Y", "Z")
+
+
+def _validate_params(gate: str, params: tuple) -> None:
+    """Check the ``params`` payload of measurement/feedforward instructions.
+
+    ``MEASURE`` carries ``(cbit, basis)`` -- the classical result slot the
+    outcome is recorded into and the measurement basis (``"Z"`` or ``"X"``).
+    ``CPAULI`` carries ``(pauli, cbit, cbit, ...)`` -- the Pauli applied when
+    the XOR of the listed classical bits is 1.  Every other gate must carry
+    no params.
+    """
+    if gate == "MEASURE":
+        if len(params) != 2:
+            raise ValueError("MEASURE params must be (cbit, basis)")
+        cbit, basis = params
+        if not isinstance(cbit, int) or cbit < 0:
+            raise ValueError(f"MEASURE cbit must be a non-negative int, got {cbit!r}")
+        if basis not in ("Z", "X"):
+            raise ValueError(f"MEASURE basis must be 'Z' or 'X', got {basis!r}")
+    elif gate == "CPAULI":
+        if len(params) < 2:
+            raise ValueError("CPAULI params must be (pauli, cbit, ...)")
+        pauli, *cbits = params
+        if pauli not in FRAME_PAULIS:
+            raise ValueError(f"CPAULI pauli must be one of {FRAME_PAULIS}, got {pauli!r}")
+        for cbit in cbits:
+            if not isinstance(cbit, int) or cbit < 0:
+                raise ValueError(
+                    f"CPAULI condition bits must be non-negative ints, got {cbit!r}"
+                )
+        if len(set(cbits)) != len(cbits):
+            raise ValueError(f"duplicate CPAULI condition bits: {cbits}")
+    elif params:
+        raise ValueError(f"gate {gate} takes no params, got {params!r}")
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -22,20 +59,30 @@ class Instruction:
     tags:
         Free-form labels used for accounting.  The QRAM builders use
         ``"classical"`` for classically-controlled gates (Table 1 counts
-        these), ``"noise"`` for Pauli errors injected by a noise model and
-        ``"routing"`` for communication operations added by the mapper.
+        these), ``"noise"`` for Pauli errors injected by a noise model,
+        ``"routing"`` for communication operations added by the mapper and
+        ``"teleport"`` for the entanglement-link operations of an executed
+        teleportation chain.
+    params:
+        Classical payload of measurement/feedforward instructions (empty for
+        every ordinary gate).  ``MEASURE``: ``(cbit, basis)`` with ``basis``
+        in ``("Z", "X")``.  ``CPAULI``: ``(pauli, cbit, ...)`` -- apply
+        ``pauli`` when the XOR of the recorded classical bits is 1.
     """
 
     gate: str
     qubits: tuple[int, ...]
     tags: frozenset[str] = field(default_factory=frozenset)
+    params: tuple = ()
 
     def __post_init__(self) -> None:
         spec = gate_spec(self.gate)
         object.__setattr__(self, "gate", spec.name)
         object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
         object.__setattr__(self, "tags", frozenset(self.tags))
+        object.__setattr__(self, "params", tuple(self.params))
         validate_arity(spec.name, len(self.qubits))
+        _validate_params(spec.name, self.params)
         if spec.name != "BARRIER" and len(set(self.qubits)) != len(self.qubits):
             raise ValueError(f"duplicate qubit operands in {spec.name}: {self.qubits}")
         if any(q < 0 for q in self.qubits):
@@ -61,6 +108,49 @@ class Instruction:
         """True for gates whose application was conditioned on classical data."""
         return "classical" in self.tags
 
+    @property
+    def is_measurement(self) -> bool:
+        """True for mid-circuit ``MEASURE`` instructions."""
+        return self.gate == "MEASURE"
+
+    @property
+    def is_frame(self) -> bool:
+        """True for ``CPAULI`` Pauli-frame corrections.
+
+        Frame corrections are software: hardware tracks them in the Pauli
+        frame instead of applying a physical gate, so noise models and the
+        depth scheduler treat them as zero-cost bookkeeping.
+        """
+        return self.gate == "CPAULI"
+
+    @property
+    def cbit(self) -> int:
+        """Classical result slot of a ``MEASURE`` instruction."""
+        if not self.is_measurement:
+            raise ValueError(f"{self.gate} records no classical bit")
+        return self.params[0]
+
+    @property
+    def basis(self) -> str:
+        """Measurement basis (``"Z"`` or ``"X"``) of a ``MEASURE`` instruction."""
+        if not self.is_measurement:
+            raise ValueError(f"{self.gate} has no measurement basis")
+        return self.params[1]
+
+    @property
+    def frame_pauli(self) -> str:
+        """Pauli label applied by a ``CPAULI`` correction."""
+        if not self.is_frame:
+            raise ValueError(f"{self.gate} is not a frame correction")
+        return self.params[0]
+
+    @property
+    def condition_bits(self) -> tuple[int, ...]:
+        """Classical bits whose XOR triggers a ``CPAULI`` correction."""
+        if not self.is_frame:
+            raise ValueError(f"{self.gate} is not a frame correction")
+        return tuple(self.params[1:])
+
     def controls_and_target(self) -> tuple[tuple[int, ...], int]:
         """Split an ``MCX``/``CX``/``CCX`` instruction into (controls, target)."""
         if self.gate not in ("CX", "CCX", "MCX"):
@@ -68,9 +158,18 @@ class Instruction:
         return self.qubits[:-1], self.qubits[-1]
 
     def inverse(self) -> "Instruction":
-        """Return the instruction implementing the inverse gate."""
+        """Return the instruction implementing the inverse gate.
+
+        Raises
+        ------
+        ValueError
+            For irreversible instructions (``MEASURE``).
+        """
         return Instruction(
-            gate=inverse_gate_name(self.gate), qubits=self.qubits, tags=self.tags
+            gate=inverse_gate_name(self.gate),
+            qubits=self.qubits,
+            tags=self.tags,
+            params=self.params,
         )
 
     def remapped(self, mapping: dict[int, int]) -> "Instruction":
@@ -79,15 +178,20 @@ class Instruction:
             gate=self.gate,
             qubits=tuple(mapping[q] for q in self.qubits),
             tags=self.tags,
+            params=self.params,
         )
 
     def with_tags(self, *extra: str) -> "Instruction":
         """Return a copy with ``extra`` labels added to :attr:`tags`."""
         return Instruction(
-            gate=self.gate, qubits=self.qubits, tags=self.tags | frozenset(extra)
+            gate=self.gate,
+            qubits=self.qubits,
+            tags=self.tags | frozenset(extra),
+            params=self.params,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         qubits = ", ".join(str(q) for q in self.qubits)
+        payload = f"; {','.join(str(p) for p in self.params)}" if self.params else ""
         suffix = f"  # {','.join(sorted(self.tags))}" if self.tags else ""
-        return f"{self.gate}({qubits}){suffix}"
+        return f"{self.gate}({qubits}{payload}){suffix}"

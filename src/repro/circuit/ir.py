@@ -21,6 +21,15 @@ with each other and with any Pauli error on an earlier group member's
 operands.  That is what lets the noisy engine apply a group's error sites
 after the whole group without changing the sampled trajectory.
 
+Mid-circuit measurement (``MEASURE``) and Pauli-frame feedforward
+(``CPAULI``) compile to their own opcodes with **fusion-barrier** semantics:
+each becomes a lone :class:`TapeGroup` carrying its classical payload, and no
+run is fused across it.  The tape records the measurement order
+(:attr:`GateTape.measurements`) because every measurement consumes exactly
+one uniform variate of the shot's random stream -- drawn *before* the shot's
+noise-site codes -- which is what keeps seeded trajectories of measured
+circuits bit-identical across engines and across any sweep sharding.
+
 The tape is cached on the circuit (``circuit._tape``) and invalidated by
 :meth:`QuantumCircuit.append`; as a second line of defence the cache is also
 dropped when the instruction count changed (catching direct appends to
@@ -47,6 +56,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # --------------------------------------------------------------------- opcodes
 #: Integer opcodes, one per gate the registry knows.  ``OP_NOP`` stands for the
 #: identity gate, which executes nothing but still carries noise sites.
+#: ``OP_MEASURE``/``OP_CPAULI`` are the mid-circuit measurement and
+#: Pauli-frame feedforward instructions; both act as **fusion barriers** (see
+#: :func:`compile_circuit`).
 (
     OP_NOP,
     OP_X,
@@ -63,7 +75,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     OP_CCX,
     OP_CSWAP,
     OP_MCX,
-) = range(15)
+    OP_MEASURE,
+    OP_CPAULI,
+) = range(17)
 
 #: Gate name -> opcode.  ``BARRIER`` is intentionally absent: barriers are
 #: dropped at compile time (they only matter for depth scheduling).
@@ -83,6 +97,8 @@ GATE_OPCODES: dict[str, int] = {
     "CCX": OP_CCX,
     "CSWAP": OP_CSWAP,
     "MCX": OP_MCX,
+    "MEASURE": OP_MEASURE,
+    "CPAULI": OP_CPAULI,
 }
 
 #: Opcode -> gate name (debugging / error messages).
@@ -110,10 +126,16 @@ class TapeGroup:
     ``qubits`` has shape ``(n_gates, arity)``; for ``MCX`` all gates in the
     group share the same arity (controls first, target last, as in
     :class:`~repro.circuit.instruction.Instruction`).
+
+    ``MEASURE``/``CPAULI`` groups always hold exactly one instruction (they
+    are fusion barriers) and carry its classical payload in ``params``:
+    ``(cbit, basis)`` for a measurement, ``(pauli, cbit, ...)`` for a frame
+    correction.  Ordinary gate groups leave ``params`` empty.
     """
 
     opcode: int
     qubits: np.ndarray
+    params: tuple = ()
 
     @property
     def size(self) -> int:
@@ -122,6 +144,7 @@ class TapeGroup:
 
     @property
     def single(self) -> bool:
+        """True when the group holds exactly one gate."""
         return self.qubits.shape[0] == 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -152,6 +175,7 @@ class NoiseSiteTable:
 
     @property
     def n_sites(self) -> int:
+        """Number of error sites in the table."""
         return len(self.channels)
 
     def _channel_runs(self) -> tuple:
@@ -229,15 +253,27 @@ class GateTape:
     gate_group: np.ndarray  # (n_gates,) int32: group each gate belongs to
     unsupported_path_gates: tuple[str, ...]  # gates Feynman engines must reject
     source_length: int  # len(circuit.instructions) at compile time
+    #: ``(cbit, basis)`` of every MEASURE instruction in execution order --
+    #: the order engines consume measurement randomness in (one uniform per
+    #: entry, drawn before any noise-site randomness of the same shot).
+    measurements: tuple[tuple[int, str], ...] = ()
+    num_clbits: int = 0
     _site_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_gates(self) -> int:
+        """Number of barrier-free gates on the tape."""
         return len(self.gates)
 
     @property
     def num_groups(self) -> int:
+        """Number of fused execution groups."""
         return len(self.groups)
+
+    @property
+    def num_measurements(self) -> int:
+        """Number of mid-circuit measurements on the tape."""
+        return len(self.measurements)
 
     def noise_sites(self, noise: "NoiseModel") -> NoiseSiteTable:
         """Memoized :class:`NoiseSiteTable` for ``noise``.
@@ -341,6 +377,13 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
     safety net, whenever the instruction count no longer matches the one the
     tape was compiled from.  Replacing an instruction in place without
     changing the count is not detected (see module docstring).
+
+    ``MEASURE`` and ``CPAULI`` instructions are **fusion barriers**: each
+    becomes its own single-instruction group (carrying its classical payload
+    in :attr:`TapeGroup.params`), and the run being accumulated is flushed on
+    both sides.  Fusing across a measurement would be unsound twice over --
+    a deferred gate could change the measured qubit's marginal, and a noise
+    site deferred past the projection would act on the collapsed state.
     """
     cached = getattr(circuit, "_tape", None)
     if cached is not None and cached.source_length == len(circuit.instructions):
@@ -350,6 +393,8 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
     gates: list[Instruction] = []
     gate_group: list[int] = []
     unsupported: list[str] = []
+    measurements: list[tuple[int, str]] = []
+    num_clbits = 0
 
     current_opcode: int | None = None
     current_arity = -1
@@ -362,6 +407,33 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
         opcode = GATE_OPCODES[instr.gate]
         if not is_path_simulable(instr.gate) and instr.gate not in unsupported:
             unsupported.append(instr.gate)
+        if opcode in (OP_MEASURE, OP_CPAULI):
+            # Fusion barrier: close the open run, emit a lone group with the
+            # classical payload, and start the next run from scratch.
+            _flush(groups, current_opcode, current_rows)
+            current_opcode = None
+            current_arity = -1
+            current_rows = []
+            current_qubits = set()
+            gates.append(instr)
+            gate_group.append(len(groups))
+            groups.append(
+                TapeGroup(
+                    opcode=opcode,
+                    qubits=np.asarray([instr.qubits], dtype=np.int32),
+                    params=instr.params,
+                )
+            )
+            if opcode == OP_MEASURE:
+                measurements.append((instr.cbit, instr.basis))
+                num_clbits = max(num_clbits, instr.cbit + 1)
+            else:
+                # A CPAULI may reference slots no measurement wrote (they
+                # read as 0); the classical register must still cover them.
+                num_clbits = max(
+                    num_clbits, max(instr.condition_bits, default=-1) + 1
+                )
+            continue
         operands = instr.qubits
         fits = (
             opcode == current_opcode
@@ -387,6 +459,8 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
         gate_group=np.asarray(gate_group, dtype=np.int32),
         unsupported_path_gates=tuple(unsupported),
         source_length=len(circuit.instructions),
+        measurements=tuple(measurements),
+        num_clbits=num_clbits,
     )
     circuit._tape = tape
     return tape

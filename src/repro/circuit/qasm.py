@@ -84,6 +84,8 @@ def to_qasm(
     ]
     if ancillae_needed:
         lines.append(f"qreg anc[{ancillae_needed}];")
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
 
     comments = {
         name: f"// register {name}: qubits {list(reg.qubits)}"
@@ -101,6 +103,24 @@ def to_qasm(
                 lines.append(f"barrier {operands};")
             else:
                 lines.append(f"barrier {register_name};")
+            continue
+        if instr.gate == "MEASURE":
+            # X-basis measurements rotate into the computational basis first.
+            if instr.basis == "X":
+                lines.append(f"h {register_name}[{instr.qubits[0]}];")
+            lines.append(
+                f"measure {register_name}[{instr.qubits[0]}] -> c[{instr.cbit}];"
+            )
+            continue
+        if instr.gate == "CPAULI":
+            # OpenQASM 2.0 `if` only tests whole-register equality, so the
+            # XOR-conditioned frame correction is exported as an annotation
+            # (downstream tools track Pauli frames in software anyway).
+            bits = " ^ ".join(f"c[{b}]" for b in instr.condition_bits)
+            lines.append(
+                f"// pauli-frame: {instr.frame_pauli.lower()} "
+                f"{register_name}[{instr.qubits[0]}] if {bits};"
+            )
             continue
         if instr.gate in _DIRECT_GATES:
             lines.append(_format_direct(instr, register_name))

@@ -37,8 +37,12 @@ def asap_layers(
         frontier before later gates are scheduled.  When False barriers are
         ignored entirely.
     include_noise:
-        When False (default) instructions tagged ``"noise"`` are skipped, so
-        that depth reflects the logical circuit rather than injected errors.
+        When False (default) instructions tagged ``"noise"`` and ``CPAULI``
+        frame corrections are skipped, so that depth reflects the physical
+        schedule: injected errors are bookkeeping and Pauli-frame updates are
+        software (hardware never executes them as gates).  ``MEASURE``
+        instructions are always scheduled -- a mid-circuit measurement
+        occupies its qubit for a layer like any gate.
 
     Returns
     -------
@@ -56,7 +60,7 @@ def asap_layers(
                 for q in qubits:
                     frontier[q] = sync
             continue
-        if not include_noise and instr.is_noise:
+        if not include_noise and (instr.is_noise or instr.is_frame):
             continue
         layer_index = max((frontier[q] for q in instr.qubits), default=0)
         while len(layers) <= layer_index:
@@ -137,8 +141,8 @@ def idle_slack(
     since their previous gate, and :attr:`ScheduleSlack.final_idle` carries
     the idling between each qubit's last gate and the end of the circuit.
     The layer walk mirrors :func:`asap_layers` exactly (same barrier
-    handling, noise-tagged instructions skipped), so ``depth`` equals
-    :func:`circuit_depth`.  Idle time is measured against each qubit's last
+    handling; noise-tagged instructions and ``CPAULI`` frame corrections are
+    zero-duration), so ``depth`` equals :func:`circuit_depth`.  Idle time is measured against each qubit's last
     *gate*, not its scheduling frontier: a barrier delays when the next gate
     may start but does not make the waiting qubit any less idle.
     """
@@ -155,8 +159,9 @@ def idle_slack(
                 for q in qubits:
                     frontier[q] = sync
             continue
-        if instr.is_noise:
-            # Zero-duration bookkeeping: keep the index aligned with the tape.
+        if instr.is_noise or instr.is_frame:
+            # Zero-duration bookkeeping (injected errors, Pauli-frame
+            # updates): keep the index aligned with the tape.
             gate_idle.append(())
             continue
         layer_index = max((frontier[q] for q in instr.qubits), default=0)

@@ -138,6 +138,7 @@ EXPERIMENTS: dict[str, Callable] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the experiments CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the tables and figures of the MICRO 2023 QRAM paper.",
@@ -210,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_experiment(name: str, args) -> None:
+    """Run one named experiment and print/export its records."""
     report, records = EXPERIMENTS[name](args)
     print(report)
     if args.out:
@@ -265,6 +267,7 @@ def run_scenarios(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -44,6 +44,7 @@ class HardwareConfiguration:
 
     @property
     def label(self) -> str:
+        """Human-readable configuration label used in the report."""
         return f"m={self.m},k={self.k}"
 
 

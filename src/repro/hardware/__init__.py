@@ -18,7 +18,11 @@ package substitutes:
   (front-layer + extended-window scoring, decay heuristic,
   forward/backward/forward initial-layout selection) that stands in for
   Qiskit's SABRE pass proper and routes with fewer SWAPs than the greedy
-  baseline.
+  baseline;
+* :mod:`~repro.hardware.teleport_router` -- the lookahead pass extended with
+  measurement-based teleport relocations through free vertices, scored in
+  the same candidate loop as SWAPs (the Sec. 4.3 communication primitive as
+  a routing move).
 
 The substitution preserves what Figure 12 actually measures: how the extra
 SWAPs forced by sparse connectivity and the overall error scale affect query
@@ -48,6 +52,7 @@ from repro.hardware.router import (
     set_default_router,
 )
 from repro.hardware.lookahead import LookaheadSwapRouter
+from repro.hardware.teleport_router import TeleportSwapRouter
 
 __all__ = [
     "DEVICES",
@@ -56,6 +61,7 @@ __all__ = [
     "GreedySwapRouter",
     "LookaheadSwapRouter",
     "RoutedCircuit",
+    "TeleportSwapRouter",
     "available_routers",
     "device_noise_model",
     "get_default_router",

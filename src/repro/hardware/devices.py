@@ -58,12 +58,14 @@ class DeviceModel:
                 raise ValueError("self-coupling edge")
 
     def to_networkx(self) -> nx.Graph:
+        """The coupling map as an undirected :mod:`networkx` graph."""
         graph = nx.Graph()
         graph.add_nodes_from(range(self.num_qubits))
         graph.add_edges_from(self.coupling_map)
         return graph
 
     def are_connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a coupling edge."""
         return (a, b) in self.coupling_map or (b, a) in self.coupling_map
 
     def distance(self, a: int, b: int) -> int:
@@ -71,9 +73,11 @@ class DeviceModel:
         return nx.shortest_path_length(self.to_networkx(), a, b)
 
     def shortest_path(self, a: int, b: int) -> list[int]:
+        """A shortest coupling-map path from ``a`` to ``b``."""
         return nx.shortest_path(self.to_networkx(), a, b)
 
     def average_degree(self) -> float:
+        """Mean number of coupling edges per qubit."""
         return 2 * len(self.coupling_map) / self.num_qubits
 
 

@@ -262,20 +262,50 @@ class LookaheadSwapRouter:
                 stalled_swaps = 0
                 decay[:] = 1.0
                 continue
-            best = self._best_swap(
-                front, instructions, done, logical_to_physical, decay
+            touched = self._apply_best_move(
+                front,
+                instructions,
+                done,
+                logical_to_physical,
+                physical_to_logical,
+                decay,
+                routed if record else None,
             )
-            swap(*best)
             stalled_swaps += 1
             decisions_since_reset += 1
             if decisions_since_reset >= self.decay_reset_interval:
                 decay[:] = 1.0
                 decisions_since_reset = 0
             else:
-                decay[best[0]] += self.decay_increment
-                decay[best[1]] += self.decay_increment
+                for vertex in touched:
+                    decay[vertex] += self.decay_increment
 
         return logical_to_physical
+
+    def _apply_best_move(
+        self,
+        front: list[int],
+        instructions: list[Instruction],
+        done: list[bool],
+        logical_to_physical: dict[int, int],
+        physical_to_logical: dict[int, int],
+        decay: np.ndarray,
+        routed: QuantumCircuit | None,
+    ) -> tuple[int, int]:
+        """Pick and apply one routing move; return the physical qubits it touched.
+
+        The base router only knows SWAPs.  The teleport-aware subclass
+        (:class:`repro.hardware.teleport_router.TeleportSwapRouter`)
+        overrides this hook to score teleport relocations through free
+        vertices in the same candidate loop and apply whichever move wins.
+        ``routed`` is ``None`` during layout-selection passes (apply the
+        layout update only, emit nothing).
+        """
+        (a, b), _score = self._best_swap(
+            front, instructions, done, logical_to_physical, decay
+        )
+        apply_swap(a, b, logical_to_physical, physical_to_logical, routed)
+        return (a, b)
 
     # ------------------------------------------------------------ heuristics
     def _connected(self, physical: list[int]) -> bool:
@@ -340,8 +370,8 @@ class LookaheadSwapRouter:
         done: list[bool],
         logical_to_physical: dict[int, int],
         decay: np.ndarray,
-    ) -> tuple[int, int]:
-        """The decay-weighted best SWAP candidate for the current front layer."""
+    ) -> tuple[tuple[int, int], float]:
+        """The decay-weighted best SWAP candidate and its score."""
         front_physical = {
             logical_to_physical[q]
             for index in front
@@ -393,7 +423,7 @@ class LookaheadSwapRouter:
                 best = (a, b)
                 best_score = score
         assert best is not None  # the device is connected, so candidates exist
-        return best
+        return best, best_score
 
     def _force_executable(
         self,

@@ -43,7 +43,11 @@ class DeviceNoiseModel(NoiseModel):
     error_reduction_factor: float = 1.0
 
     def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
-        if instr.is_barrier or instr.is_noise:
+        """Depolarizing sites on every operand (measurements/frames are free)."""
+        if instr.is_barrier or instr.is_noise or instr.is_measurement or instr.is_frame:
+            # Measurement noise is modelled separately (the readout-survival
+            # factor of ScenarioSpec.readout); CPAULI frame corrections are
+            # software and never execute as physical gates.
             return []
         channel = (
             self.single_qubit_channel
@@ -55,6 +59,7 @@ class DeviceNoiseModel(NoiseModel):
         return [(qubit, channel) for qubit in instr.qubits]
 
     def scaled(self, factor: float) -> "DeviceNoiseModel":
+        """Copy with both channels scaled by ``factor``."""
         return DeviceNoiseModel(
             single_qubit_channel=self.single_qubit_channel.scaled(factor),
             two_qubit_channel=self.two_qubit_channel.scaled(factor),

@@ -58,6 +58,15 @@ class RoutedCircuit:
         """Number of SWAP gates inserted by the router."""
         return self.circuit.count_tagged("routing")
 
+    @property
+    def link_operations(self) -> int:
+        """Teleport-hop CX gates inserted by a teleport-aware router."""
+        return sum(
+            1
+            for instr in self.circuit.gates
+            if instr.gate == "CX" and "teleport" in instr.tags
+        )
+
     def physical_qubits(self, logical_qubits: list[int], *, final: bool = True) -> list[int]:
         """Physical positions of ``logical_qubits`` (final layout by default)."""
         layout = self.final_layout if final else self.initial_layout

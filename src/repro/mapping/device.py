@@ -27,11 +27,14 @@ correct physical circuit the noisy Feynman-path engines can execute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.devices import DeviceModel
 from repro.mapping.htree import HTreeEmbedding
+
+#: Grid coordinate type re-exported for chain lookups.
+Coordinate = tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -50,12 +53,36 @@ class HTreeDevice:
         Number of logical circuit qubits.
     num_routing:
         Number of routing-chain vertices appended after the logical qubits.
+    chain_vertices:
+        Interior routing-chain vertex ids of every materialised tree edge,
+        keyed ``(parent grid coordinate, child grid coordinate)`` and ordered
+        parent to child.  This is the lookup the executed-teleportation
+        expansion (:mod:`repro.mapping.teleport`) hops along.
     """
 
     device: DeviceModel
     initial_layout: dict[int, int]
     num_logical: int
     num_routing: int
+    chain_vertices: dict[tuple[Coordinate, Coordinate], tuple[int, ...]] = field(
+        default_factory=dict
+    )
+
+    def chain_between(
+        self, a: Coordinate, b: Coordinate
+    ) -> tuple[int, ...] | None:
+        """Interior chain vertices from coordinate ``a`` to ``b``, or ``None``.
+
+        Accepts either orientation of a materialised tree edge and returns
+        the chain ordered ``a -> b``.
+        """
+        chain = self.chain_vertices.get((a, b))
+        if chain is not None:
+            return chain
+        chain = self.chain_vertices.get((b, a))
+        if chain is not None:
+            return tuple(reversed(chain))
+        return None
 
     def route(self, circuit: QuantumCircuit, *, router: str | None = None):
         """Route ``circuit`` onto this device from its cluster layout.
@@ -108,6 +135,7 @@ def htree_device(
                 connect(a, b)
 
     next_vertex = circuit.num_qubits
+    chain_vertices: dict[tuple[Coordinate, Coordinate], tuple[int, ...]] = {}
     for (parent, child), path in sorted(embedding.edge_paths.items()):
         parent_cluster = clusters.get(path[0], [])
         child_cluster = clusters.get(path[-1], [])
@@ -119,6 +147,7 @@ def htree_device(
         for _ in path[1:-1]:
             chain.append(next_vertex)
             next_vertex += 1
+        chain_vertices[(path[0], path[-1])] = tuple(chain)
         if chain:
             for qubit in parent_cluster:
                 connect(qubit, chain[0])
@@ -152,4 +181,5 @@ def htree_device(
         initial_layout={q: q for q in range(circuit.num_qubits)},
         num_logical=circuit.num_qubits,
         num_routing=next_vertex - circuit.num_qubits,
+        chain_vertices=chain_vertices,
     )

@@ -29,9 +29,11 @@ class Grid2D:
     # -------------------------------------------------------------- inspection
     @property
     def num_qubits(self) -> int:
+        """Total number of grid vertices."""
         return self.rows * self.cols
 
     def contains(self, coordinate: Coordinate) -> bool:
+        """True when ``coordinate`` lies inside the grid."""
         row, col = coordinate
         return 0 <= row < self.rows and 0 <= col < self.cols
 
@@ -47,12 +49,14 @@ class Grid2D:
         return row * self.cols + col
 
     def neighbors(self, coordinate: Coordinate) -> list[Coordinate]:
+        """The 4-neighbourhood of ``coordinate`` within the grid."""
         row, col = coordinate
         candidates = [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]
         return [c for c in candidates if self.contains(c)]
 
     @staticmethod
     def manhattan_distance(a: Coordinate, b: Coordinate) -> int:
+        """L1 distance between two grid coordinates."""
         return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
     def straight_path(self, a: Coordinate, b: Coordinate) -> list[Coordinate]:

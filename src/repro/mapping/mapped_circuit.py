@@ -40,6 +40,7 @@ class MappingOverhead:
         return self.logical_depth + self.extra_depth
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the overhead record (export/tables)."""
         return {
             "scheme": self.scheme,
             "logical_depth": self.logical_depth,

@@ -59,6 +59,7 @@ class SwapRouting(RoutingScheme):
     name = "swap"
 
     def cost(self, distance: int) -> CommunicationCost:
+        """Swap-routing cost: ``2 (d - 1)`` SWAPs, linear depth."""
         if distance <= 1:
             return CommunicationCost(extra_operations=0, extra_depth=0)
         swaps_one_way = distance - 1
@@ -86,6 +87,7 @@ class TeleportationRouting(RoutingScheme):
     name = "teleportation"
 
     def cost(self, distance: int) -> CommunicationCost:
+        """Teleportation cost: ``2 (d - 1)`` link operations, constant depth."""
         if distance <= 1:
             return CommunicationCost(extra_operations=0, extra_depth=0)
         routing_qubits = distance - 1

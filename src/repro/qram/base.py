@@ -45,6 +45,7 @@ class ResourceReport:
     clifford_t: CliffordTCost
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the resource report."""
         return {
             "qubits": self.qubits,
             "gate_count": self.gate_count,
@@ -180,6 +181,7 @@ class QRAMArchitecture:
         return sqc + qram
 
     def bus_qubit(self) -> int:
+        """Index of the single bus qubit."""
         return self.build_circuit().registers["bus"][0]
 
     def kept_qubits(self) -> list[int]:

@@ -80,6 +80,7 @@ class QueryExperimentResult:
     std_error: float
 
     def as_dict(self) -> dict:
+        """Plain-dict form of the query record."""
         return {
             "architecture": self.architecture,
             "m": self.m,

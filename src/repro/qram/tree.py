@@ -93,6 +93,7 @@ class RouterTree:
 
     @property
     def num_internal_nodes(self) -> int:
+        """Number of internal (router) nodes, ``2**depth - 1``."""
         return (1 << self.depth) - 1
 
     @property
@@ -129,21 +130,35 @@ class RouterTree:
 
     # ---------------------------------------------------------------- gadgets
     def route_down_level(self, circuit: QuantumCircuit, level: int) -> None:
-        """Push payloads one level down at every node of ``level`` (Fig. 2c)."""
+        """Push payloads one level down at every node of ``level`` (Fig. 2c).
+
+        The ``move:<k>`` tags record a structural invariant of the traversal
+        direction: operand ``k`` (the destination wire one level down) is in
+        |0> when the gadget fires, because the subtree below the payload is
+        clean.  The executed-teleportation expansion
+        (:mod:`repro.mapping.teleport`) uses the tag to realise a remote
+        tagged SWAP as a one-way teleportation ladder instead of a full
+        (twice as expensive) state exchange.
+        """
         for node in range(1 << level):
             left, right = self.child_wires(level, node)
             wire = self.wires[level][node]
             router = self.routers[level][node]
-            circuit.cswap(router, wire, right)
-            circuit.swap(wire, left)
+            circuit.cswap(router, wire, right, tags=("move:2",))
+            circuit.swap(wire, left, tags=("move:1",))
 
     def route_up_level(self, circuit: QuantumCircuit, level: int) -> None:
-        """Inverse of :meth:`route_down_level` (payloads move one level up)."""
+        """Inverse of :meth:`route_down_level` (payloads move one level up).
+
+        Upstream the parent wire is the empty side of the plain SWAP
+        (``move:0``); the CSWAP carries no tag because which of its swap
+        operands is empty depends on the router qubit's value per path.
+        """
         for node in range(1 << level):
             left, right = self.child_wires(level, node)
             wire = self.wires[level][node]
             router = self.routers[level][node]
-            circuit.swap(wire, left)
+            circuit.swap(wire, left, tags=("move:0",))
             circuit.cswap(router, wire, right)
 
     def absorb_level(self, circuit: QuantumCircuit, level: int) -> None:

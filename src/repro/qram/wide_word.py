@@ -65,6 +65,7 @@ class WideWordVirtualQRAM(QRAMArchitecture):
         return self.bus_qubits()[0]
 
     def kept_qubits(self) -> list[int]:
+        """Address plus every bus qubit (the reduced-fidelity registers)."""
         return self.address_qubits() + self.bus_qubits()
 
     def ideal_output(self, input_state: PathState | None = None) -> PathState:
@@ -81,6 +82,7 @@ class WideWordVirtualQRAM(QRAMArchitecture):
         return PathState(bits=bits, amplitudes=state.amplitudes.copy())
 
     def verify(self, input_state: PathState | None = None) -> bool:
+        """Check the wide-word query against the expected memory words."""
         state = self.input_state() if input_state is None else input_state
         produced = self.simulate(state).as_dict()
         expected = self.ideal_output(state).as_dict()

@@ -10,6 +10,19 @@ Three families, all registered at import time:
   paying a deeper schedule than teleportation's constant-depth links, which
   is the paper's core Sec. 4 claim.
 
+* **Executed-vs-analytic teleport ablation** (``htree-teleport-m3`` /
+  ``htree-teleport-executed`` / ``htree-teleport-executed-idle``): the same
+  teleport-routed workload with the links *modelled* (analytic fidelity
+  multiplier) versus *executed* (entanglement-link hop CXs, mid-circuit
+  measurement, Pauli-frame feedforward -- see
+  :mod:`repro.mapping.teleport`).  At zero noise the executed links
+  reproduce the logical output exactly; at finite noise the two variants
+  agree within Monte-Carlo error wherever the gate structure lets the
+  expansion match the analytic site count (the upstream router CSWAPs pay a
+  genuine state-exchange round trip on top).  The ``-idle`` variant turns on
+  schedule-aware idle noise, exposing the depth cost the analytic
+  constant-depth model hides.
+
 * **Device studies** (``perth-m1`` / ``guadalupe-m2``): the Figure 12
   methodology as sweepable scenarios -- route onto the named backend, sweep
   the error-reduction factor.
@@ -57,6 +70,29 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         qram_width=3,
         mapping="htree",
         routing="teleport",
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-teleport-executed",
+        description=(
+            "htree-teleport-m3 with links executed: measured hop chains + "
+            "Pauli-frame feedforward"
+        ),
+        qram_width=3,
+        mapping="htree",
+        routing="teleport-executed",
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-teleport-executed-idle",
+        description=(
+            "executed teleport links plus schedule-aware idle dephasing "
+            "(the links' real depth cost)"
+        ),
+        qram_width=3,
+        mapping="htree",
+        routing="teleport-executed",
+        idle_error=None,
         error_reduction_factors=_SWEEP,
     ),
     ScenarioSpec(

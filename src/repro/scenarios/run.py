@@ -77,6 +77,7 @@ def _point_record(
         "executed_gates": compiled.executed_gates,
         "extra_swaps": compiled.extra_swaps,
         "link_operations": compiled.link_operations,
+        "measurements": compiled.measurements,
         "logical_depth": compiled.logical_depth,
         "executed_depth": compiled.executed_depth,
         "idle_error": compiled.idle_error_rate,
@@ -152,7 +153,9 @@ def scenario_report(
         f"(logical {first['logical_gates']}) "
         f"depth={first['executed_depth']} (logical {first['logical_depth']}) "
         f"extra_swaps={first['extra_swaps']} "
-        f"link_ops={first['link_operations']} idle_error={first['idle_error']} "
+        f"link_ops={first['link_operations']} "
+        f"measurements={first['measurements']} "
+        f"idle_error={first['idle_error']} "
         f"readout_error={first['readout_error']}\n"
         f"  shots={first['shots']} engine={first['engine']}"
     )

@@ -16,7 +16,7 @@ from dataclasses import dataclass, replace
 
 ARCHITECTURES: tuple[str, ...] = ("virtual", "bucket-brigade", "fanout")
 MAPPINGS: tuple[str, ...] = ("none", "htree", "device")
-ROUTINGS: tuple[str, ...] = ("swap", "teleport")
+ROUTINGS: tuple[str, ...] = ("swap", "teleport", "teleport-executed")
 
 
 @dataclass(frozen=True)
@@ -41,13 +41,19 @@ class ScenarioSpec:
         Communication scheme for ``mapping="htree"``: ``"swap"`` materialises
         SWAP chains along the tree arms (every SWAP incurs gate noise),
         ``"teleport"`` executes remote gates in place at constant depth but
-        charges the entanglement-link noise of the consumed routing qubits.
-        ``mapping="device"`` always swap-routes; ``mapping="none"`` ignores
-        this field.
+        charges the entanglement-link noise of the consumed routing qubits
+        *analytically*, and ``"teleport-executed"`` executes the links for
+        real -- entanglement-link CX hops over the routing-chain vertices,
+        mid-circuit measurements and Pauli-frame feedforward (see
+        :mod:`repro.mapping.teleport`), with link noise arising from the hop
+        gates' own error channels.  ``mapping="device"`` always swap-routes;
+        ``mapping="none"`` ignores this field.
     router:
-        Which registered SWAP router inserts the routing SWAPs (see
-        :mod:`repro.hardware.router`): ``"greedy-swap"`` or ``"lookahead"``.
-        ``None`` uses the session default
+        Which registered router resolves blocked gates (see
+        :mod:`repro.hardware.router`): ``"greedy-swap"``, ``"lookahead"``
+        or ``"lookahead-teleport"`` (SWAPs plus measurement-based teleport
+        relocations through free vertices).  ``None`` uses the session
+        default
         (:func:`~repro.hardware.router.get_default_router`, the CLI
         ``--router`` override).  Ignored unless the mapping swap-routes.
     device:

@@ -31,6 +31,41 @@ module-level default (``"feynman-tape"``) can be swapped globally with
 :func:`set_default_engine`, which is how ``python -m repro.experiments
 --engine`` reroutes every figure sweep without threading a parameter through
 each runner.
+
+Mid-circuit measurement and Pauli frames
+----------------------------------------
+All three engines execute ``MEASURE`` and ``CPAULI`` instructions (the
+executed-teleportation primitives):
+
+* A **Z-basis** measurement samples the outcome from the shot's true marginal
+  (``p0`` computed from the shot's path amplitudes), zeroes the amplitudes of
+  non-matching paths and renormalises by ``1 / sqrt(p_m)`` -- the path count
+  never changes, collapsed paths simply carry zero amplitude.
+* An **X-basis** measurement consumes one uniform exactly like a Z
+  measurement but against ``p0 = 1/2``: projecting any computational basis
+  path onto ``|+>`` or ``|->`` has magnitude ``1/sqrt(2)``, so when the
+  measured qubit's value is determined by the other qubits along each path
+  (true for every teleportation ladder, where it carries a copy of another
+  qubit) the outcome really is uniform and the per-path update
+  ``amp *= (-1)**(bit * m); bit := m`` is the exact renormalised projection.
+  When paths *collide* (two paths differing only in the measured bit), the
+  uniform draw still yields an **unbiased** fidelity estimator -- the
+  cancelled interference shows up as zero-amplitude shots -- but individual
+  shot fidelities are then estimates rather than exact projections.
+  By convention the measured qubit is left in the computational state
+  ``|m>`` (hardware re-initialises from the classical record), so a
+  ``CPAULI X`` conditioned on ``m`` resets it to ``|0>`` for reuse.
+* ``CPAULI`` applies its Pauli to the shots whose recorded classical bits
+  XOR to 1 -- Pauli-frame feedforward, executed per shot.
+
+**Random-stream contract.**  Per shot, measurement uniforms are drawn
+*first* (one per ``MEASURE`` in program order -- see
+:attr:`~repro.circuit.ir.GateTape.measurements`), then the noise-site codes
+in site order.  Both Feynman engines consume streams identically, so seeded
+trajectories of measured circuits stay bit-identical across engines and
+across any ``(workers, shard_size)`` sweep split; circuits without
+measurements consume exactly the pre-measurement streams, preserving every
+committed artefact bit for bit.
 """
 
 from __future__ import annotations
@@ -42,10 +77,12 @@ from repro.circuit.ir import (
     GateTape,
     NoiseSiteTable,
     OP_CCX,
+    OP_CPAULI,
     OP_CSWAP,
     OP_CX,
     OP_CZ,
     OP_MCX,
+    OP_MEASURE,
     OP_NOP,
     OP_S,
     OP_SDG,
@@ -85,13 +122,132 @@ def _check_state(circuit: QuantumCircuit, state: PathState) -> None:
         )
 
 
+# ========================================================= measurement helpers
+def _apply_measure(
+    column: np.ndarray,
+    amps: np.ndarray,
+    basis: str,
+    uniforms: np.ndarray,
+    n_paths: int,
+) -> np.ndarray:
+    """Measure one qubit across a stacked shot block, in place.
+
+    ``column`` is the measured qubit's boolean values as a writable 1-D view
+    of length ``shots * n_paths`` (a ``bits_q`` row for the tape engine, a
+    ``bits`` column for the interpreted one); ``uniforms`` holds one
+    pre-drawn variate per shot.  Returns the sampled outcomes, shape
+    ``(shots,)`` int8.  See the module docstring for the projection rules.
+    """
+    shots = uniforms.shape[0]
+    bitmat = column.reshape(shots, n_paths)
+    if basis == "X":
+        outcomes = (uniforms >= 0.5).astype(np.int8)
+        chosen = np.repeat(outcomes.astype(bool), n_paths)
+        # Projection onto |m>_x: phase (-1)**(bit * m), renormalised by
+        # sqrt(2) -- the product leaves |amp| unchanged.
+        flip = column & chosen
+        if np.any(flip):
+            amps[flip] *= -1.0
+        column[:] = chosen
+        return outcomes
+    weights = (np.abs(amps) ** 2).reshape(shots, n_paths)
+    total = weights.sum(axis=1)
+    w1 = np.where(bitmat, weights, 0.0).sum(axis=1)
+    safe_total = np.where(total > 0.0, total, 1.0)
+    p0 = (total - w1) / safe_total
+    outcomes = (uniforms >= p0).astype(np.int8)
+    p_m = np.where(outcomes == 1, w1, total - w1) / safe_total
+    # p_m is guaranteed positive for the sampled outcome (u < p0 selects 0
+    # only when p0 > 0, and u >= p0 selects 1 only when p1 > 0); the guard
+    # covers zero-norm shots produced by cancelled X measurements upstream.
+    scale = 1.0 / np.sqrt(np.where(p_m > 0.0, p_m, 1.0))
+    keep = bitmat == (outcomes[:, None] != 0)
+    amps *= (keep * scale[:, None]).reshape(-1)
+    column[:] = np.repeat(outcomes.astype(bool), n_paths)
+    return outcomes
+
+
+def _apply_frame(
+    column: np.ndarray,
+    amps: np.ndarray,
+    pauli: str,
+    active: np.ndarray,
+    n_paths: int,
+) -> None:
+    """Apply a Pauli-frame correction to the shots where ``active`` is True."""
+    if not np.any(active):
+        return
+    rows = np.repeat(active, n_paths)
+    if pauli == "X":
+        column[rows] ^= True
+    elif pauli == "Z":
+        mask = rows & column
+        if np.any(mask):
+            amps[mask] *= -1.0
+    else:  # Y
+        amps[rows] *= np.where(column[rows], -1j, 1j)
+        column[rows] ^= True
+
+
+def _frame_active(
+    outcomes: np.ndarray | None, condition_bits: tuple[int, ...], shots: int
+) -> np.ndarray:
+    """Per-shot XOR of the recorded classical bits a ``CPAULI`` conditions on."""
+    if outcomes is None or not condition_bits:
+        return np.zeros(shots, dtype=bool)
+    return (outcomes[list(condition_bits)].sum(axis=0) & 1).astype(bool)
+
+
+def _draw_seeded_randomness(
+    sites: NoiseSiteTable | None,
+    seeds: ShotSeeds,
+    shots: int,
+    n_measurements: int,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Per-shot seeded draws: ``(site codes, measurement uniforms)``.
+
+    Each shot's generator is consumed in the fixed contract order --
+    measurement uniforms first, then noise-site codes -- so any sharding of
+    the shot range reproduces the unsharded draw exactly.  Either part may
+    be absent (``None``).  With no measurements the stream consumption is
+    identical to the historical :meth:`NoiseSiteTable.draw_per_shot`.
+    """
+    codes = (
+        np.empty((sites.n_sites, shots), dtype=np.int64)
+        if sites is not None
+        else None
+    )
+    meas = (
+        np.empty((n_measurements, shots), dtype=float) if n_measurements else None
+    )
+    for shot in range(shots):
+        generator = seeds.generator(shot)
+        if meas is not None:
+            meas[:, shot] = generator.random(n_measurements)
+        if codes is not None:
+            codes[:, shot] = sites.draw_shot(generator)
+    return codes, meas
+
+
 class Engine:
     """Interface every execution engine implements (see module docstring)."""
 
     name: str = "abstract"
 
-    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
-        """Noiseless evolution of ``state`` through ``circuit``."""
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PathState:
+        """Noiseless evolution of ``state`` through ``circuit``.
+
+        ``rng`` supplies measurement outcomes for circuits containing
+        ``MEASURE`` instructions; ``None`` uses a fixed stream
+        (``default_rng(0)``) so noiseless runs stay deterministic.  Circuits
+        without measurements never consume randomness.
+        """
         raise NotImplementedError
 
     def run_noisy_shots(
@@ -131,15 +287,42 @@ class InterpretedFeynmanEngine(Engine):
                 "the Feynman-path simulator"
             )
 
-    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PathState:
+        """Instruction-at-a-time noiseless evolution (measurements sampled from ``rng``)."""
         _check_state(circuit, state)
         self._validate(circuit)
+        tape = compile_circuit(circuit)
         bits = state.bits.copy()
         amps = state.amplitudes.copy()
+        outcomes: np.ndarray | None = None
+        if tape.num_clbits:
+            outcomes = np.zeros((tape.num_clbits, 1), dtype=np.int8)
+            if rng is None:
+                rng = np.random.default_rng(0)
+        n_paths = state.num_paths
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
-            apply_instruction(bits, amps, instr)
+            if instr.is_measurement:
+                outcomes[instr.cbit] = _apply_measure(
+                    bits[:, instr.qubits[0]], amps, instr.basis, rng.random(1), n_paths
+                )
+            elif instr.is_frame:
+                _apply_frame(
+                    bits[:, instr.qubits[0]],
+                    amps,
+                    instr.frame_pauli,
+                    _frame_active(outcomes, instr.condition_bits, 1),
+                    n_paths,
+                )
+            else:
+                apply_instruction(bits, amps, instr)
         return PathState(bits=bits, amplitudes=amps)
 
     def run_noisy_shots(
@@ -150,14 +333,18 @@ class InterpretedFeynmanEngine(Engine):
         shots: int,
         rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised Monte-Carlo shots, instruction at a time (see :class:`Engine`)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
         self._validate(circuit)
+        tape = compile_circuit(circuit)
 
         noiseless = isinstance(noise, NoiselessModel)
-        # Per-shot seeded mode: pre-draw every site's codes column by column,
-        # one independent stream per shot, in the exact site order the loop
+        n_measurements = tape.num_measurements
+        # Per-shot seeded mode: pre-draw every shot's randomness column by
+        # column from its own stream, in the contract order -- measurement
+        # uniforms first, then the site codes in the exact order the loop
         # below consumes them (gates in instruction order, trivial channels
         # skipped, end-of-circuit channels last -- the same filter as the
         # loop, so a running cursor stays aligned).  The sites are enumerated
@@ -166,8 +353,11 @@ class InterpretedFeynmanEngine(Engine):
         # for the QRAM noise models both enumerations are identical, which is
         # what keeps the engines' seeded trajectories bit-for-bit equal.
         site_codes: np.ndarray | None = None
+        measure_uniforms: np.ndarray | None = None
         site_cursor = 0
+        measure_cursor = 0
         if isinstance(rng, ShotSeeds):
+            sites: NoiseSiteTable | None = None
             if not noiseless:
                 channels = [
                     channel
@@ -195,9 +385,20 @@ class InterpretedFeynmanEngine(Engine):
                     group_index=placeholder,
                     channels=tuple(channels),
                 )
-                site_codes = sites.draw_per_shot(rng, shots)
+            if sites is not None or n_measurements:
+                site_codes, measure_uniforms = _draw_seeded_randomness(
+                    sites, rng, shots, n_measurements
+                )
         else:
             rng = np.random.default_rng() if rng is None else rng
+            if n_measurements:
+                # Batch mode draws the measurement block up front too, so the
+                # stream consumption matches the compiled engine exactly.
+                measure_uniforms = rng.random((n_measurements, shots))
+
+        outcomes: np.ndarray | None = None
+        if tape.num_clbits:
+            outcomes = np.zeros((tape.num_clbits, shots), dtype=np.int8)
 
         n_paths = state.num_paths
         bits = np.tile(state.bits, (shots, 1))
@@ -219,7 +420,25 @@ class InterpretedFeynmanEngine(Engine):
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
-            apply_instruction(bits, amps, instr)
+            if instr.is_measurement:
+                outcomes[instr.cbit] = _apply_measure(
+                    bits[:, instr.qubits[0]],
+                    amps,
+                    instr.basis,
+                    measure_uniforms[measure_cursor],
+                    n_paths,
+                )
+                measure_cursor += 1
+            elif instr.is_frame:
+                _apply_frame(
+                    bits[:, instr.qubits[0]],
+                    amps,
+                    instr.frame_pauli,
+                    _frame_active(outcomes, instr.condition_bits, shots),
+                    n_paths,
+                )
+            else:
+                apply_instruction(bits, amps, instr)
             if not noiseless:
                 for qubit, channel in noise.gate_error_channels_indexed(
                     gate_index, instr
@@ -250,7 +469,14 @@ class TapeFeynmanEngine(Engine):
             )
         return tape
 
-    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PathState:
+        """Fused group-by-group noiseless evolution (measurements sampled from ``rng``)."""
         _check_state(circuit, state)
         tape = self._tape(circuit)
         # Qubit-major layout: bits_q[q] is one contiguous row per qubit, so
@@ -260,8 +486,29 @@ class TapeFeynmanEngine(Engine):
         # states, and the group kernels mutate bits_q in place.
         bits_q = state.bits.T.copy()
         amps = state.amplitudes.copy()
+        outcomes: np.ndarray | None = None
+        if tape.num_clbits:
+            outcomes = np.zeros((tape.num_clbits, 1), dtype=np.int8)
+            if rng is None:
+                rng = np.random.default_rng(0)
+        n_paths = state.num_paths
         for group in tape.groups:
-            _apply_group(bits_q, amps, group.opcode, group.qubits)
+            if group.opcode == OP_MEASURE:
+                cbit, basis = group.params
+                outcomes[cbit] = _apply_measure(
+                    bits_q[int(group.qubits[0, 0])], amps, basis, rng.random(1), n_paths
+                )
+            elif group.opcode == OP_CPAULI:
+                pauli = group.params[0]
+                _apply_frame(
+                    bits_q[int(group.qubits[0, 0])],
+                    amps,
+                    pauli,
+                    _frame_active(outcomes, group.params[1:], 1),
+                    n_paths,
+                )
+            else:
+                _apply_group(bits_q, amps, group.opcode, group.qubits)
         return PathState(bits=np.ascontiguousarray(bits_q.T), amplitudes=amps)
 
     def run_noisy_shots(
@@ -272,48 +519,96 @@ class TapeFeynmanEngine(Engine):
         shots: int,
         rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised Monte-Carlo shots over the fused tape (see :class:`Engine`)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
         tape = self._tape(circuit)
 
         n_paths = state.num_paths
+        n_measurements = tape.num_measurements
         # Shot-stacked, qubit-major block: column s * n_paths + p is path p of
         # shot s (the transpose of the layout the interpreted engine uses).
         bits_q = np.tile(np.ascontiguousarray(state.bits.T), (1, shots))
         amps = np.tile(state.amplitudes, shots).astype(complex)
 
-        if isinstance(noise, NoiselessModel):
-            for group in tape.groups:
-                _apply_group(bits_q, amps, group.opcode, group.qubits)
-            return np.ascontiguousarray(bits_q.T), amps
-
         # One up-front draw for every (gate, qubit) error site of the batch,
-        # then a sparse bucket of nonzero events per fused group.  A shared
-        # batch generator draws all shots at once; a ShotSeeds window draws
-        # each shot's column from that shot's own stream, which is what makes
-        # sharded sweeps bit-identical to serial ones.
-        sites = tape.noise_sites(noise)
+        # plus one uniform per (measurement, shot) -- measurement uniforms
+        # first, matching the interpreted engine's consumption order.  A
+        # shared batch generator draws all shots at once; a ShotSeeds window
+        # draws each shot's column from that shot's own stream, which is what
+        # makes sharded sweeps bit-identical to serial ones.
+        sites: NoiseSiteTable | None = (
+            None if isinstance(noise, NoiselessModel) else tape.noise_sites(noise)
+        )
+        measure_uniforms: np.ndarray | None = None
         if isinstance(rng, ShotSeeds):
-            codes = sites.draw_per_shot(rng, shots)
+            if sites is not None or n_measurements:
+                codes, measure_uniforms = _draw_seeded_randomness(
+                    sites, rng, shots, n_measurements
+                )
         else:
             rng = np.random.default_rng() if rng is None else rng
-            codes = sites.draw(shots, rng)
-        site_rows, event_shot = np.nonzero(codes)
-        event_code = codes[site_rows, event_shot]
-        event_qubit = sites.qubit[site_rows]
-        # Group indices are non-decreasing in site order, so the event list is
-        # already sorted by group; bucket boundaries via searchsorted.  The
-        # extra trailing bucket (group index == num_groups) holds the model's
-        # end-of-circuit sites, applied after every group has executed.
-        event_group = sites.group_index[site_rows]
-        bucket_starts = np.searchsorted(
-            event_group, np.arange(len(tape.groups) + 2)
-        )
+            if n_measurements:
+                measure_uniforms = rng.random((n_measurements, shots))
+            if sites is not None:
+                codes = sites.draw(shots, rng)
+
+        if sites is not None:
+            site_rows, event_shot = np.nonzero(codes)
+            event_code = codes[site_rows, event_shot]
+            event_qubit = sites.qubit[site_rows]
+            # Group indices are non-decreasing in site order, so the event
+            # list is already sorted by group; bucket boundaries via
+            # searchsorted.  The extra trailing bucket (group index ==
+            # num_groups) holds the model's end-of-circuit sites, applied
+            # after every group has executed.
+            event_group = sites.group_index[site_rows]
+            bucket_starts = np.searchsorted(
+                event_group, np.arange(len(tape.groups) + 2)
+            )
+
+        outcomes: np.ndarray | None = None
+        if tape.num_clbits:
+            outcomes = np.zeros((tape.num_clbits, shots), dtype=np.int8)
+        measure_cursor = 0
 
         for index, group in enumerate(tape.groups):
-            _apply_group(bits_q, amps, group.opcode, group.qubits)
-            for event in range(bucket_starts[index], bucket_starts[index + 1]):
+            if group.opcode == OP_MEASURE:
+                cbit, basis = group.params
+                outcomes[cbit] = _apply_measure(
+                    bits_q[int(group.qubits[0, 0])],
+                    amps,
+                    basis,
+                    measure_uniforms[measure_cursor],
+                    n_paths,
+                )
+                measure_cursor += 1
+            elif group.opcode == OP_CPAULI:
+                _apply_frame(
+                    bits_q[int(group.qubits[0, 0])],
+                    amps,
+                    group.params[0],
+                    _frame_active(outcomes, group.params[1:], shots),
+                    n_paths,
+                )
+            else:
+                _apply_group(bits_q, amps, group.opcode, group.qubits)
+            if sites is not None:
+                for event in range(bucket_starts[index], bucket_starts[index + 1]):
+                    _apply_error_event(
+                        bits_q,
+                        amps,
+                        int(event_qubit[event]),
+                        int(event_shot[event]),
+                        int(event_code[event]),
+                        n_paths,
+                    )
+        if sites is not None:
+            final_bucket = len(tape.groups)
+            for event in range(
+                bucket_starts[final_bucket], bucket_starts[final_bucket + 1]
+            ):
                 _apply_error_event(
                     bits_q,
                     amps,
@@ -322,16 +617,6 @@ class TapeFeynmanEngine(Engine):
                     int(event_code[event]),
                     n_paths,
                 )
-        final_bucket = len(tape.groups)
-        for event in range(bucket_starts[final_bucket], bucket_starts[final_bucket + 1]):
-            _apply_error_event(
-                bits_q,
-                amps,
-                int(event_qubit[event]),
-                int(event_shot[event]),
-                int(event_code[event]),
-                n_paths,
-            )
         return np.ascontiguousarray(bits_q.T), amps
 
 
@@ -345,11 +630,18 @@ class StatevectorEngine(Engine):
 
     name = "statevector"
 
-    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PathState:
+        """Dense noiseless evolution via :class:`StatevectorSimulator`."""
         from repro.sim.statevector import StatevectorSimulator
 
         _check_state(circuit, state)
-        return StatevectorSimulator().run_to_path_state(circuit, state)
+        return StatevectorSimulator().run_to_path_state(circuit, state, rng=rng)
 
     def run_noisy_shots(
         self,
@@ -359,6 +651,7 @@ class StatevectorEngine(Engine):
         shots: int,
         rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Noiseless-only shot blocks (the dense engine cannot sample Pauli noise)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         if not isinstance(noise, NoiselessModel):

@@ -53,6 +53,7 @@ class QueryResult:
 
     @property
     def mean_fidelity(self) -> float:
+        """Mean fidelity over all shots."""
         return float(np.mean(self.fidelities))
 
     @property
@@ -92,9 +93,20 @@ class FeynmanPathSimulator:
                 )
 
     # ----------------------------------------------------------- noiseless run
-    def run(self, circuit: QuantumCircuit, state: PathState) -> PathState:
-        """Run ``circuit`` on ``state`` and return the output :class:`PathState`."""
-        return self._resolve_engine().run(circuit, state)
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> PathState:
+        """Run ``circuit`` on ``state`` and return the output :class:`PathState`.
+
+        ``rng`` supplies mid-circuit measurement outcomes when the circuit
+        contains ``MEASURE`` instructions (``None`` uses a fixed stream);
+        measurement-free circuits never consume randomness.
+        """
+        return self._resolve_engine().run(circuit, state, rng=rng)
 
     # -------------------------------------------------------- noisy Monte Carlo
     def run_noisy_shots(

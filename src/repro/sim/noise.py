@@ -62,6 +62,7 @@ class PauliChannel:
 
     @property
     def is_trivial(self) -> bool:
+        """True when every error probability is zero."""
         return self.p_total == 0.0
 
     def scaled(self, factor: float) -> "PauliChannel":
@@ -179,9 +180,11 @@ class NoiselessModel(NoiseModel):
     """The identity noise model."""
 
     def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
+        """No error sites: the identity model."""
         return []
 
     def scaled(self, factor: float) -> "NoiselessModel":
+        """The identity model is scale-invariant."""
         return NoiselessModel()
 
 
@@ -207,7 +210,11 @@ class GateNoiseModel(NoiseModel):
     include_classical: bool = True
 
     def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
-        if instr.is_barrier or instr.is_noise:
+        """Per-operand channel sites (skipping barriers/noise/measure/frames)."""
+        if instr.is_barrier or instr.is_noise or instr.is_measurement or instr.is_frame:
+            # Measurements carry no gate noise here (readout error has its
+            # own closed-form treatment, see ScenarioSpec.readout) and
+            # CPAULI corrections are software Pauli-frame updates.
             return []
         if not self.include_classical and instr.is_classically_controlled:
             return []
@@ -219,6 +226,7 @@ class GateNoiseModel(NoiseModel):
         return [(q, channel) for q in instr.qubits]
 
     def scaled(self, factor: float) -> "GateNoiseModel":
+        """Copy with the per-gate channel scaled by ``factor``."""
         return GateNoiseModel(
             channel=self.channel.scaled(factor),
             two_qubit_factor=self.two_qubit_factor,
@@ -244,11 +252,13 @@ class QubitOncePauliNoise(NoiseModel):
     channel: PauliChannel
 
     def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
+        """Unsupported: this model samples whole-circuit insertions instead."""
         raise NotImplementedError(
             "QubitOncePauliNoise must be applied via sample_noisy_circuit()"
         )
 
     def scaled(self, factor: float) -> "QubitOncePauliNoise":
+        """Copy with the per-qubit channel scaled by ``factor``."""
         return QubitOncePauliNoise(channel=self.channel.scaled(factor))
 
     def sample_insertions(
@@ -257,7 +267,7 @@ class QubitOncePauliNoise(NoiseModel):
         """Sample ``(instruction_index, pauli_instruction)`` insertions."""
         touches: dict[int, list[int]] = {}
         for index, instr in enumerate(circuit.instructions):
-            if instr.is_barrier or instr.is_noise:
+            if instr.is_barrier or instr.is_noise or instr.is_measurement or instr.is_frame:
                 continue
             for q in instr.qubits:
                 touches.setdefault(q, []).append(index)
@@ -296,6 +306,7 @@ class ScheduledNoiseModel(NoiseModel):
     final_sites: tuple[tuple[int, PauliChannel], ...] = ()
 
     def gate_error_channels(self, instr: Instruction) -> list[tuple[int, PauliChannel]]:
+        """Raises: position-dependent models need the indexed protocol."""
         raise TypeError(
             "ScheduledNoiseModel is position-dependent; error sites must be "
             "enumerated via gate_error_channels_indexed()"
@@ -304,6 +315,7 @@ class ScheduledNoiseModel(NoiseModel):
     def gate_error_channels_indexed(
         self, gate_index: int, instr: Instruction
     ) -> list[tuple[int, PauliChannel]]:
+        """Base sites for the indexed gate plus this circuit's extra sites."""
         if gate_index >= len(self.gate_sites):
             raise ValueError(
                 f"gate index {gate_index} outside the {len(self.gate_sites)}-gate "
@@ -315,11 +327,13 @@ class ScheduledNoiseModel(NoiseModel):
         return channels
 
     def final_error_channels(self) -> list[tuple[int, PauliChannel]]:
+        """Base end-of-circuit sites plus this circuit's extra final sites."""
         channels = list(self.base.final_error_channels())
         channels.extend(self.final_sites)
         return channels
 
     def scaled(self, factor: float) -> "ScheduledNoiseModel":
+        """Copy with every layered site channel scaled by ``factor``."""
         return ScheduledNoiseModel(
             base=self.base.scaled(factor),
             gate_sites=tuple(
@@ -437,6 +451,8 @@ def expected_error_insertions(
     if isinstance(noise, QubitOncePauliNoise):
         touched = set()
         for instr in circuit.gates:
+            if instr.is_measurement or instr.is_frame:
+                continue
             touched.update(instr.qubits)
         return len(touched) * noise.channel.p_total
     total = 0.0

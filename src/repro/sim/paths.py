@@ -122,10 +122,12 @@ class PathState:
     # ------------------------------------------------------------- inspection
     @property
     def num_paths(self) -> int:
+        """Number of paths (rows) in the superposition."""
         return self.bits.shape[0]
 
     @property
     def num_qubits(self) -> int:
+        """Number of qubits (columns)."""
         return self.bits.shape[1]
 
     def norm(self) -> float:
@@ -133,6 +135,7 @@ class PathState:
         return float(np.sqrt(np.sum(np.abs(self.amplitudes) ** 2)))
 
     def copy(self) -> "PathState":
+        """Deep copy of bits and amplitudes."""
         return PathState(bits=self.bits.copy(), amplitudes=self.amplitudes.copy())
 
     def register_values(self, register: Sequence[int]) -> np.ndarray:

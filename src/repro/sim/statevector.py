@@ -27,11 +27,13 @@ import numpy as np
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.ir import (
     OP_CCX,
+    OP_CPAULI,
     OP_CSWAP,
     OP_CX,
     OP_CZ,
     OP_H,
     OP_MCX,
+    OP_MEASURE,
     OP_NOP,
     OP_S,
     OP_SDG,
@@ -60,6 +62,9 @@ _OPCODE_MATRICES = {
     OP_TDG: np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
 }
 
+#: Pauli label -> opcode, for CPAULI frame corrections.
+_PAULI_OPCODES = {"X": OP_X, "Y": OP_Y, "Z": OP_Z}
+
 
 class StatevectorSimulator:
     """Dense simulator for circuits on at most ``22`` qubits."""
@@ -72,11 +77,17 @@ class StatevectorSimulator:
         self,
         circuit: QuantumCircuit,
         initial_state: PathState | np.ndarray | None = None,
+        *,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """Return the final statevector of ``circuit``.
 
         ``initial_state`` may be a :class:`PathState`, a dense vector of length
-        ``2**num_qubits`` or ``None`` (all qubits in |0>).
+        ``2**num_qubits`` or ``None`` (all qubits in |0>).  ``rng`` supplies
+        mid-circuit measurement outcomes (sampled from the exact Born
+        probabilities); ``None`` uses a fixed ``default_rng(0)`` stream so
+        runs stay deterministic.  Circuits without measurements never consume
+        randomness.
         """
         n = circuit.num_qubits
         if n > self.max_qubits:
@@ -85,9 +96,30 @@ class StatevectorSimulator:
             )
         psi = self._initial_vector(circuit, initial_state)
         tape = compile_circuit(circuit)
+        outcomes: np.ndarray | None = None
+        if tape.num_clbits:
+            outcomes = np.zeros(tape.num_clbits, dtype=np.int8)
+            if rng is None:
+                rng = np.random.default_rng(0)
         for group in tape.groups:
             opcode = group.opcode
             if opcode == OP_NOP:
+                continue
+            if opcode == OP_MEASURE:
+                cbit, basis = group.params
+                psi, outcomes[cbit] = self._measure(
+                    psi, int(group.qubits[0, 0]), basis, rng
+                )
+                continue
+            if opcode == OP_CPAULI:
+                pauli = group.params[0]
+                parity = int(outcomes[list(group.params[1:])].sum()) & 1
+                if parity:
+                    psi = self._apply_single_matrix(
+                        psi,
+                        _OPCODE_MATRICES[_PAULI_OPCODES[pauli]],
+                        int(group.qubits[0, 0]),
+                    )
                 continue
             for row in group.qubits:
                 psi = self._apply_op(psi, opcode, row)
@@ -98,13 +130,38 @@ class StatevectorSimulator:
         circuit: QuantumCircuit,
         initial_state: PathState | np.ndarray | None = None,
         tolerance: float = 1e-12,
+        *,
+        rng: np.random.Generator | None = None,
     ) -> PathState:
         """Run and convert the (sparse) output back into a :class:`PathState`."""
-        psi = self.run(circuit, initial_state)
+        psi = self.run(circuit, initial_state, rng=rng)
         n = circuit.num_qubits
         indices = np.nonzero(np.abs(psi) > tolerance)[0]
         bits = ((indices[:, None] >> np.arange(n)) & 1).astype(bool)
         return PathState(bits=bits, amplitudes=psi[indices])
+
+    def _measure(
+        self, psi: np.ndarray, qubit: int, basis: str, rng: np.random.Generator
+    ) -> tuple[np.ndarray, int]:
+        """Project ``qubit`` onto a sampled outcome; return ``(psi, outcome)``.
+
+        X-basis measurements rotate into the computational basis first and,
+        matching the Feynman engines' convention, leave the qubit in the
+        computational state ``|m>`` (hardware re-initialises measured qubits
+        from the classical record).
+        """
+        if basis == "X":
+            psi = self._apply_single_matrix(psi, _OPCODE_MATRICES[OP_H], qubit)
+        indices = np.arange(len(psi), dtype=np.int64)
+        mask1 = ((indices >> qubit) & 1).astype(bool)
+        weight1 = float(np.sum(np.abs(psi[mask1]) ** 2))
+        total = float(np.sum(np.abs(psi) ** 2))
+        p0 = (total - weight1) / total if total > 0.0 else 1.0
+        outcome = 0 if rng.random() < p0 else 1
+        keep = mask1 if outcome else ~mask1
+        p_m = weight1 / total if outcome else p0
+        out = np.where(keep, psi, 0.0) / np.sqrt(p_m if p_m > 0.0 else 1.0)
+        return out, outcome
 
     # ----------------------------------------------------------------- helpers
     def _initial_vector(

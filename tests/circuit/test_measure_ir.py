@@ -1,0 +1,178 @@
+"""Measurement/feedforward instructions in the circuit model and the tape IR.
+
+Covers the fusion-barrier compile semantics of ``MEASURE``/``CPAULI``, the
+classical-register bookkeeping, instruction validation, scheduling rules and
+the QASM export of measured circuits.
+"""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.circuit.ir import (
+    OP_CPAULI,
+    OP_CX,
+    OP_MEASURE,
+    compile_circuit,
+)
+from repro.circuit.qasm import to_qasm
+from repro.circuit.scheduling import circuit_depth, idle_slack
+
+
+class TestInstructionValidation:
+    def test_measure_params_validated(self):
+        with pytest.raises(ValueError, match="cbit, basis"):
+            Instruction(gate="MEASURE", qubits=(0,), params=(1,))
+        with pytest.raises(ValueError, match="non-negative"):
+            Instruction(gate="MEASURE", qubits=(0,), params=(-1, "Z"))
+        with pytest.raises(ValueError, match="basis"):
+            Instruction(gate="MEASURE", qubits=(0,), params=(0, "W"))
+
+    def test_cpauli_params_validated(self):
+        with pytest.raises(ValueError, match="pauli, cbit"):
+            Instruction(gate="CPAULI", qubits=(0,), params=("X",))
+        with pytest.raises(ValueError, match="pauli must be"):
+            Instruction(gate="CPAULI", qubits=(0,), params=("H", 0))
+        with pytest.raises(ValueError, match="non-negative"):
+            Instruction(gate="CPAULI", qubits=(0,), params=("X", -2))
+        with pytest.raises(ValueError, match="duplicate"):
+            Instruction(gate="CPAULI", qubits=(0,), params=("X", 1, 1))
+
+    def test_ordinary_gates_take_no_params(self):
+        with pytest.raises(ValueError, match="takes no params"):
+            Instruction(gate="CX", qubits=(0, 1), params=(3,))
+
+    def test_accessors(self):
+        measure = Instruction(gate="MEASURE", qubits=(2,), params=(5, "X"))
+        assert measure.is_measurement and not measure.is_frame
+        assert (measure.cbit, measure.basis) == (5, "X")
+        frame = Instruction(gate="CPAULI", qubits=(1,), params=("Z", 0, 3))
+        assert frame.is_frame and not frame.is_measurement
+        assert frame.frame_pauli == "Z"
+        assert frame.condition_bits == (0, 3)
+        with pytest.raises(ValueError):
+            frame.cbit
+        with pytest.raises(ValueError):
+            measure.frame_pauli
+
+    def test_measure_has_no_inverse(self):
+        measure = Instruction(gate="MEASURE", qubits=(0,), params=(0, "Z"))
+        with pytest.raises(ValueError, match="irreversible"):
+            measure.inverse()
+        frame = Instruction(gate="CPAULI", qubits=(0,), params=("X", 0))
+        assert frame.inverse() == frame  # replaying the frame undoes it
+
+    def test_params_survive_remap_and_tags(self):
+        measure = Instruction(gate="MEASURE", qubits=(0,), params=(2, "X"))
+        assert measure.remapped({0: 4}).params == (2, "X")
+        assert measure.with_tags("teleport").params == (2, "X")
+
+
+class TestClassicalRegister:
+    def test_measure_allocates_sequential_cbits(self):
+        circuit = QuantumCircuit(num_qubits=3)
+        assert circuit.measure(0) == 0
+        assert circuit.measure(1, basis="X") == 1
+        assert circuit.measure(0, cbit=7) == 7
+        assert circuit.measure(2) == 8
+        assert circuit.num_clbits == 8 + 1
+
+    def test_num_clbits_from_constructor_instructions(self):
+        instrs = [Instruction(gate="MEASURE", qubits=(0,), params=(3, "Z"))]
+        circuit = QuantumCircuit(num_qubits=1, instructions=instrs)
+        assert circuit.num_clbits == 4
+
+    def test_tape_covers_unmeasured_cpauli_bits(self):
+        circuit = QuantumCircuit(num_qubits=1)
+        circuit.cpauli("X", 0, [6])
+        tape = compile_circuit(circuit)
+        assert tape.num_clbits == 7
+        assert tape.num_measurements == 0
+
+
+class TestFusionBarrier:
+    def test_measure_breaks_fusion_runs(self):
+        """A measurement between disjoint CXs splits what would fuse."""
+        fused = QuantumCircuit(num_qubits=4)
+        fused.cx(0, 1)
+        fused.cx(2, 3)
+        assert compile_circuit(fused).num_groups == 1
+
+        barred = QuantumCircuit(num_qubits=4)
+        barred.cx(0, 1)
+        barred.measure(0)
+        barred.cx(2, 3)
+        tape = compile_circuit(barred)
+        assert [group.opcode for group in tape.groups] == [
+            OP_CX,
+            OP_MEASURE,
+            OP_CX,
+        ]
+
+    def test_measure_groups_are_single_and_carry_params(self):
+        circuit = QuantumCircuit(num_qubits=2)
+        cbit = circuit.measure(1, basis="X")
+        circuit.cpauli("Y", 0, [cbit])
+        tape = compile_circuit(circuit)
+        measure_group, frame_group = tape.groups
+        assert measure_group.opcode == OP_MEASURE
+        assert measure_group.size == 1
+        assert measure_group.params == (0, "X")
+        assert frame_group.opcode == OP_CPAULI
+        assert frame_group.params == ("Y", 0)
+        assert tape.measurements == ((0, "X"),)
+
+    def test_consecutive_measures_do_not_fuse(self):
+        circuit = QuantumCircuit(num_qubits=3)
+        for qubit in range(3):
+            circuit.measure(qubit)
+        tape = compile_circuit(circuit)
+        assert tape.num_groups == 3
+        assert tape.measurements == ((0, "Z"), (1, "Z"), (2, "Z"))
+
+
+class TestScheduling:
+    def test_measure_occupies_a_layer(self):
+        circuit = QuantumCircuit(num_qubits=1)
+        circuit.x(0)
+        circuit.measure(0)
+        assert circuit_depth(circuit) == 2
+
+    def test_frames_are_zero_duration(self):
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.x(0)
+        circuit.cpauli("X", 0, [0])
+        circuit.cpauli("Z", 1, [0])
+        assert circuit_depth(circuit) == 1
+
+    def test_idle_slack_alignment_with_frames(self):
+        """Frame corrections keep the per-gate idle table tape-aligned."""
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.x(0)
+        circuit.cpauli("X", 1, [0])
+        circuit.x(0)
+        circuit.x(1)
+        slack = idle_slack(circuit)
+        tape = compile_circuit(circuit)
+        assert len(slack.gate_idle) == tape.num_gates
+        assert slack.gate_idle[1] == ()  # the frame entry is empty
+
+
+class TestQasmExport:
+    def test_measured_circuit_exports(self):
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.cx(0, 1)
+        cbit = circuit.measure(0, basis="X")
+        circuit.cpauli("Z", 1, [cbit])
+        qasm = to_qasm(circuit)
+        assert "creg c[1];" in qasm
+        assert "h q[0];" in qasm  # X-basis rotation
+        assert "measure q[0] -> c[0];" in qasm
+        assert "pauli-frame: z q[1] if c[0];" in qasm
+
+    def test_z_measure_has_no_basis_rotation(self):
+        circuit = QuantumCircuit(num_qubits=1)
+        circuit.measure(0)
+        qasm = to_qasm(circuit)
+        assert "h q[0];" not in qasm
+        assert "measure q[0] -> c[0];" in qasm

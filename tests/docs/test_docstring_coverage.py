@@ -1,0 +1,77 @@
+"""Docstring-coverage floor over the public API of ``src/repro``.
+
+CI additionally runs `interrogate` (configured in ``pyproject.toml``); this
+AST-based check mirrors its counting rules -- public modules, classes,
+functions and methods count; names with a leading underscore (including
+dunders), nested functions and ``__init__`` methods are ignored -- so the
+gate also holds in environments without the tool installed, and failures
+name the exact offenders.
+"""
+
+import ast
+from pathlib import Path
+
+SOURCE_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Keep in sync with ``[tool.interrogate] fail-under`` in pyproject.toml.
+COVERAGE_FLOOR = 95.0
+
+
+def iter_documentables():
+    """Yield ``(label, has_docstring)`` for every public definition."""
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        relative = path.relative_to(SOURCE_ROOT.parent)
+        yield f"{relative}:module", bool(ast.get_docstring(tree))
+
+        def visit(node, inside_function):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inside_function or child.name.startswith("_"):
+                        continue
+                    yield (
+                        f"{relative}:{child.name}",
+                        bool(ast.get_docstring(child)),
+                    )
+                    yield from visit(child, True)
+                elif isinstance(child, ast.ClassDef):
+                    if not child.name.startswith("_"):
+                        yield (
+                            f"{relative}:{child.name}",
+                            bool(ast.get_docstring(child)),
+                        )
+                    yield from visit(child, inside_function)
+
+        yield from visit(tree, False)
+
+
+def test_public_api_docstring_coverage_floor():
+    entries = list(iter_documentables())
+    documented = sum(1 for _, has_doc in entries if has_doc)
+    coverage = 100.0 * documented / len(entries)
+    offenders = [label for label, has_doc in entries if not has_doc]
+    assert coverage >= COVERAGE_FLOOR, (
+        f"docstring coverage {coverage:.1f}% fell below the "
+        f"{COVERAGE_FLOOR}% floor; undocumented: {offenders[:20]}"
+    )
+
+
+def test_key_public_api_is_fully_documented():
+    """The registries and entry points named in the docs must stay at 100%."""
+    required_modules = (
+        "repro/sim/engine.py",
+        "repro/sim/seeding.py",
+        "repro/hardware/router.py",
+        "repro/hardware/teleport_router.py",
+        "repro/scenarios/spec.py",
+        "repro/scenarios/run.py",
+        "repro/sweep/runner.py",
+        "repro/mapping/device.py",
+        "repro/mapping/teleport.py",
+    )
+    offenders = [
+        label
+        for label, has_doc in iter_documentables()
+        if not has_doc and label.startswith(required_modules)
+    ]
+    assert not offenders, f"core public API lost docstrings: {offenders}"

@@ -26,7 +26,7 @@ from repro.hardware.devices import DeviceModel
 from repro.sim import FeynmanPathSimulator, PathState
 from tests.conftest import random_reversible_circuits
 
-ROUTER_NAMES = ("greedy-swap", "lookahead")
+ROUTER_NAMES = ("greedy-swap", "lookahead", "lookahead-teleport")
 
 
 @st.composite
