@@ -24,7 +24,7 @@ import numpy as np
 from repro.experiments.common import format_table, random_memory, resolve_seed
 from repro.hardware.devices import DEVICES, DeviceModel
 from repro.hardware.noise_model import device_noise_model
-from repro.hardware.router import GreedySwapRouter
+from repro.hardware.router import get_default_router, make_router
 from repro.qram.virtual_qram import VirtualQRAM
 from repro.sim.engine import get_default_engine
 from repro.sim.feynman import FeynmanPathSimulator
@@ -57,26 +57,39 @@ DEFAULT_CONFIGURATIONS: tuple[HardwareConfiguration, ...] = (
 
 
 def route_configuration(
-    configuration: HardwareConfiguration, *, seed: int | None = None
+    configuration: HardwareConfiguration,
+    *,
+    seed: int | None = None,
+    router: str | None = None,
 ):
-    """Build and route one configuration; returns (architecture, routed circuit)."""
+    """Build and route one configuration; returns (architecture, routed circuit).
+
+    ``router`` resolves through the pluggable registry
+    (:func:`repro.hardware.router.make_router`); ``None`` uses the session
+    default, so ``python -m repro.experiments --router`` reaches the Figure 12
+    hardware study exactly like every other routed experiment.
+    """
     device: DeviceModel = DEVICES[configuration.device_name]
     memory = random_memory(configuration.m + configuration.k, seed)
     architecture = VirtualQRAM(memory=memory, qram_width=configuration.m)
-    routed = GreedySwapRouter(device).route(architecture.build_circuit())
+    routed = make_router(router, device).route(architecture.build_circuit())
     return architecture, routed
 
 
 @lru_cache(maxsize=16)
-def _fig12_bundle(configuration: HardwareConfiguration, seed: int):
+def _fig12_bundle(configuration: HardwareConfiguration, seed: int, router: str):
     """Route one configuration and precompute everything the shards share.
 
     Returns ``(routed, physical_input, physical_ideal, keep_qubits)``.
     Routing plus state mapping dominates the small fig12 workloads, so the
-    bundle is cached per process: every (configuration, eps_r) shard that
-    lands on a worker reuses its build.
+    bundle is cached per process: every (configuration, eps_r, router) shard
+    that lands on a worker reuses its build.  The router name is part of the
+    key (and of the shard spec -- worker processes do not inherit the
+    session's default-router setting).
     """
-    architecture, routed = route_configuration(configuration, seed=seed)
+    architecture, routed = route_configuration(
+        configuration, seed=seed, router=router
+    )
     logical_input = architecture.input_state()
     physical_input = routed.map_state(logical_input, final=False)
     physical_ideal = routed.map_state(
@@ -88,9 +101,9 @@ def _fig12_bundle(configuration: HardwareConfiguration, seed: int):
 
 def _fig12_shard(spec: tuple, shard: ShotShard) -> np.ndarray:
     """Per-shard fidelities for one (configuration, eps_r) sweep point."""
-    configuration, factor, seed, engine = spec
+    configuration, factor, seed, engine, router = spec
     routed, physical_input, physical_ideal, keep = _fig12_bundle(
-        configuration, seed
+        configuration, seed, router
     )
     device = DEVICES[configuration.device_name]
     noise = device_noise_model(device, error_reduction_factor=factor)
@@ -118,20 +131,21 @@ def run_fig12(
     """Fidelity records for every (configuration, eps_r) pair, plus SWAP counts."""
     seed_value = resolve_seed(seed)
     engine = get_default_engine()
+    router = get_default_router()
     points = [
         (configuration, factor)
         for configuration in configurations
         for factor in reduction_factors
     ]
     specs = [
-        (configuration, factor, seed_value, engine)
+        (configuration, factor, seed_value, engine, router)
         for configuration, factor in points
     ]
     runner = SweepRunner(workers=workers, shard_size=shard_size)
     merged = runner.map_shards(_fig12_shard, specs, shots=shots, seed=seed_value)
     records: list[dict[str, object]] = []
     for (configuration, factor), result in zip(points, merged):
-        routed, _, _, _ = _fig12_bundle(configuration, seed_value)
+        routed, _, _, _ = _fig12_bundle(configuration, seed_value, router)
         device = DEVICES[configuration.device_name]
         records.append(
             {

@@ -22,6 +22,31 @@ under Monte-Carlo Pauli noise?" -- so both are captured behind one
     exact ``+-1`` / ``+-i`` phases); fused ``T``/``TDG`` runs use a phase
     table whose rounding can differ from sequential multiplication by ~1 ulp.
 
+``"feynman-batch"``
+    The pattern-grouped batch engine.  All shots' randomness is drawn up
+    front, then shots are grouped by their **distinct** sampled Pauli error
+    pattern and the tape runs once per distinct pattern instead of once per
+    shot.  Pure-``Z`` patterns do not even get their own run: a ``Z`` error
+    is an exact per-path sign flip that commutes with every phase the
+    kernels apply, so those patterns fold into parity masks read off a
+    single noiseless carrier run.  Patterns containing ``X``/``Y`` errors
+    execute in a *growing* shot-axis block: one slot per such pattern joins
+    the block only at its first error site (copying the carrier's state --
+    exactly the shot's noiseless prefix), so shared prefixes are computed
+    once.  Results are scattered back to shot order.  Under
+    :class:`~repro.sim.seeding.ShotSeeds` the engine consumes each shot's
+    stream in the shared contract order and is **bit-identical** to
+    ``"feynman-tape"`` for any seed, worker count or shard size; under a
+    bulk ``numpy.random.Generator`` it instead samples only the
+    non-identity events in aggregate
+    (:meth:`~repro.circuit.ir.NoiseSiteTable.draw_sparse` -- exact Binomial
+    event counts, ``O(events)`` randomness), which is distributionally
+    identical to the dense draw but not stream-identical to the other
+    engines.  Measurement-bearing circuits consume fresh uniforms per shot,
+    so grouping cannot collapse them; the engine then falls back to the
+    plain NumPy shot-axis path (the same stacked execution the tape engine
+    uses on the same pre-drawn randomness, and therefore bit-identical).
+
 ``"statevector"``
     The dense reference simulator, adapted to the same interface (noiseless
     only; its output paths are merged per basis state).
@@ -34,7 +59,7 @@ each runner.
 
 Mid-circuit measurement and Pauli frames
 ----------------------------------------
-All three engines execute ``MEASURE`` and ``CPAULI`` instructions (the
+Every engine executes ``MEASURE`` and ``CPAULI`` instructions (the
 executed-teleportation primitives):
 
 * A **Z-basis** measurement samples the outcome from the shot's true marginal
@@ -61,7 +86,7 @@ executed-teleportation primitives):
 **Random-stream contract.**  Per shot, measurement uniforms are drawn
 *first* (one per ``MEASURE`` in program order -- see
 :attr:`~repro.circuit.ir.GateTape.measurements`), then the noise-site codes
-in site order.  Both Feynman engines consume streams identically, so seeded
+in site order.  All Feynman engines consume streams identically, so seeded
 trajectories of measured circuits stay bit-identical across engines and
 across any ``(workers, shard_size)`` sweep split; circuits without
 measurements consume exactly the pre-measurement streams, preserving every
@@ -112,7 +137,7 @@ from repro.sim.noise import (
     PAULI_Z,
 )
 from repro.sim.paths import PathState
-from repro.sim.seeding import ShotSeeds
+from repro.sim.seeding import ShotSeeds, draw_shot_randomness
 
 
 def _check_state(circuit: QuantumCircuit, state: PathState) -> None:
@@ -196,37 +221,6 @@ def _frame_active(
     if outcomes is None or not condition_bits:
         return np.zeros(shots, dtype=bool)
     return (outcomes[list(condition_bits)].sum(axis=0) & 1).astype(bool)
-
-
-def _draw_seeded_randomness(
-    sites: NoiseSiteTable | None,
-    seeds: ShotSeeds,
-    shots: int,
-    n_measurements: int,
-) -> tuple[np.ndarray | None, np.ndarray | None]:
-    """Per-shot seeded draws: ``(site codes, measurement uniforms)``.
-
-    Each shot's generator is consumed in the fixed contract order --
-    measurement uniforms first, then noise-site codes -- so any sharding of
-    the shot range reproduces the unsharded draw exactly.  Either part may
-    be absent (``None``).  With no measurements the stream consumption is
-    identical to the historical :meth:`NoiseSiteTable.draw_per_shot`.
-    """
-    codes = (
-        np.empty((sites.n_sites, shots), dtype=np.int64)
-        if sites is not None
-        else None
-    )
-    meas = (
-        np.empty((n_measurements, shots), dtype=float) if n_measurements else None
-    )
-    for shot in range(shots):
-        generator = seeds.generator(shot)
-        if meas is not None:
-            meas[:, shot] = generator.random(n_measurements)
-        if codes is not None:
-            codes[:, shot] = sites.draw_shot(generator)
-    return codes, meas
 
 
 class Engine:
@@ -386,7 +380,7 @@ class InterpretedFeynmanEngine(Engine):
                     channels=tuple(channels),
                 )
             if sites is not None or n_measurements:
-                site_codes, measure_uniforms = _draw_seeded_randomness(
+                site_codes, measure_uniforms = draw_shot_randomness(
                     sites, rng, shots, n_measurements
                 )
         else:
@@ -524,91 +518,111 @@ class TapeFeynmanEngine(Engine):
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
         tape = self._tape(circuit)
-
-        n_paths = state.num_paths
-        n_measurements = tape.num_measurements
-        # Shot-stacked, qubit-major block: column s * n_paths + p is path p of
-        # shot s (the transpose of the layout the interpreted engine uses).
-        bits_q = np.tile(np.ascontiguousarray(state.bits.T), (1, shots))
-        amps = np.tile(state.amplitudes, shots).astype(complex)
-
         # One up-front draw for every (gate, qubit) error site of the batch,
         # plus one uniform per (measurement, shot) -- measurement uniforms
-        # first, matching the interpreted engine's consumption order.  A
-        # shared batch generator draws all shots at once; a ShotSeeds window
-        # draws each shot's column from that shot's own stream, which is what
-        # makes sharded sweeps bit-identical to serial ones.
+        # first, matching the interpreted engine's consumption order.
         sites: NoiseSiteTable | None = (
             None if isinstance(noise, NoiselessModel) else tape.noise_sites(noise)
         )
-        measure_uniforms: np.ndarray | None = None
-        if isinstance(rng, ShotSeeds):
-            if sites is not None or n_measurements:
-                codes, measure_uniforms = _draw_seeded_randomness(
-                    sites, rng, shots, n_measurements
-                )
-        else:
-            rng = np.random.default_rng() if rng is None else rng
-            if n_measurements:
-                measure_uniforms = rng.random((n_measurements, shots))
-            if sites is not None:
-                codes = sites.draw(shots, rng)
+        codes, measure_uniforms = _draw_batch_randomness(
+            sites, tape.num_measurements, shots, rng
+        )
+        return _execute_stacked_shots(
+            tape, state, shots, sites, codes, measure_uniforms
+        )
 
-        if sites is not None:
-            site_rows, event_shot = np.nonzero(codes)
-            event_code = codes[site_rows, event_shot]
-            event_qubit = sites.qubit[site_rows]
-            # Group indices are non-decreasing in site order, so the event
-            # list is already sorted by group; bucket boundaries via
-            # searchsorted.  The extra trailing bucket (group index ==
-            # num_groups) holds the model's end-of-circuit sites, applied
-            # after every group has executed.
-            event_group = sites.group_index[site_rows]
-            bucket_starts = np.searchsorted(
-                event_group, np.arange(len(tape.groups) + 2)
+
+def _draw_batch_randomness(
+    sites: NoiseSiteTable | None,
+    n_measurements: int,
+    shots: int,
+    rng: np.random.Generator | ShotSeeds | None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Draw one shot batch's randomness: ``(site codes, measurement uniforms)``.
+
+    Shared by the compiled and batch engines.  A shared batch generator
+    draws the measurement block first and then all shots' site codes at
+    once; a :class:`~repro.sim.seeding.ShotSeeds` window delegates to
+    :func:`~repro.sim.seeding.draw_shot_randomness`, which consumes each
+    shot's own stream in the same contract order -- that is what makes
+    sharded sweeps bit-identical to serial ones.  Either part may be absent
+    (``None``).
+    """
+    if isinstance(rng, ShotSeeds):
+        if sites is not None or n_measurements:
+            return draw_shot_randomness(sites, rng, shots, n_measurements)
+        return None, None
+    rng = np.random.default_rng() if rng is None else rng
+    measure_uniforms = (
+        rng.random((n_measurements, shots)) if n_measurements else None
+    )
+    codes = sites.draw(shots, rng) if sites is not None else None
+    return codes, measure_uniforms
+
+
+def _execute_stacked_shots(
+    tape: GateTape,
+    state: PathState,
+    shots: int,
+    sites: NoiseSiteTable | None,
+    codes: np.ndarray | None,
+    measure_uniforms: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Execute the fused tape over a full shot-stacked, qubit-major block.
+
+    Column ``s * n_paths + p`` of the block is path ``p`` of shot ``s`` (the
+    transpose of the layout the interpreted engine uses).  This is the
+    compiled engine's shot-axis hot path; the batch engine reuses it for
+    measurement-bearing circuits, where per-shot uniforms defeat pattern
+    grouping.  ``codes`` holds the pre-drawn Pauli codes (``(n_sites,
+    shots)``), ``measure_uniforms`` the pre-drawn measurement uniforms.
+    """
+    n_paths = state.num_paths
+    bits_q = np.tile(np.ascontiguousarray(state.bits.T), (1, shots))
+    amps = np.tile(state.amplitudes, shots).astype(complex)
+
+    if sites is not None:
+        site_rows, event_shot = np.nonzero(codes)
+        event_code = codes[site_rows, event_shot]
+        event_qubit = sites.qubit[site_rows]
+        # Group indices are non-decreasing in site order, so the event
+        # list is already sorted by group; bucket boundaries via
+        # searchsorted.  The extra trailing bucket (group index ==
+        # num_groups) holds the model's end-of-circuit sites, applied
+        # after every group has executed.
+        event_group = sites.group_index[site_rows]
+        bucket_starts = np.searchsorted(
+            event_group, np.arange(len(tape.groups) + 2)
+        )
+
+    outcomes: np.ndarray | None = None
+    if tape.num_clbits:
+        outcomes = np.zeros((tape.num_clbits, shots), dtype=np.int8)
+    measure_cursor = 0
+
+    for index, group in enumerate(tape.groups):
+        if group.opcode == OP_MEASURE:
+            cbit, basis = group.params
+            outcomes[cbit] = _apply_measure(
+                bits_q[int(group.qubits[0, 0])],
+                amps,
+                basis,
+                measure_uniforms[measure_cursor],
+                n_paths,
             )
-
-        outcomes: np.ndarray | None = None
-        if tape.num_clbits:
-            outcomes = np.zeros((tape.num_clbits, shots), dtype=np.int8)
-        measure_cursor = 0
-
-        for index, group in enumerate(tape.groups):
-            if group.opcode == OP_MEASURE:
-                cbit, basis = group.params
-                outcomes[cbit] = _apply_measure(
-                    bits_q[int(group.qubits[0, 0])],
-                    amps,
-                    basis,
-                    measure_uniforms[measure_cursor],
-                    n_paths,
-                )
-                measure_cursor += 1
-            elif group.opcode == OP_CPAULI:
-                _apply_frame(
-                    bits_q[int(group.qubits[0, 0])],
-                    amps,
-                    group.params[0],
-                    _frame_active(outcomes, group.params[1:], shots),
-                    n_paths,
-                )
-            else:
-                _apply_group(bits_q, amps, group.opcode, group.qubits)
-            if sites is not None:
-                for event in range(bucket_starts[index], bucket_starts[index + 1]):
-                    _apply_error_event(
-                        bits_q,
-                        amps,
-                        int(event_qubit[event]),
-                        int(event_shot[event]),
-                        int(event_code[event]),
-                        n_paths,
-                    )
+            measure_cursor += 1
+        elif group.opcode == OP_CPAULI:
+            _apply_frame(
+                bits_q[int(group.qubits[0, 0])],
+                amps,
+                group.params[0],
+                _frame_active(outcomes, group.params[1:], shots),
+                n_paths,
+            )
+        else:
+            _apply_group(bits_q, amps, group.opcode, group.qubits)
         if sites is not None:
-            final_bucket = len(tape.groups)
-            for event in range(
-                bucket_starts[final_bucket], bucket_starts[final_bucket + 1]
-            ):
+            for event in range(bucket_starts[index], bucket_starts[index + 1]):
                 _apply_error_event(
                     bits_q,
                     amps,
@@ -617,7 +631,243 @@ class TapeFeynmanEngine(Engine):
                     int(event_code[event]),
                     n_paths,
                 )
-        return np.ascontiguousarray(bits_q.T), amps
+    if sites is not None:
+        final_bucket = len(tape.groups)
+        for event in range(
+            bucket_starts[final_bucket], bucket_starts[final_bucket + 1]
+        ):
+            _apply_error_event(
+                bits_q,
+                amps,
+                int(event_qubit[event]),
+                int(event_shot[event]),
+                int(event_code[event]),
+                n_paths,
+            )
+    return np.ascontiguousarray(bits_q.T), amps
+
+
+class BatchFeynmanEngine(TapeFeynmanEngine):
+    """Pattern-grouped batch execution over the fused tape.
+
+    Runs the tape once per **distinct** sampled Pauli pattern instead of
+    once per shot (see the module docstring for the carrier / phase-fold /
+    slot decomposition), then scatters the per-pattern results back to shot
+    order.  Bit-identical to :class:`TapeFeynmanEngine` under
+    :class:`~repro.sim.seeding.ShotSeeds` because every group kernel and
+    error event is column-local and every folded ``Z`` error is an exact
+    IEEE sign flip that commutes with the kernels' multiplicative per-path
+    phases.
+    """
+
+    name = "feynman-batch"
+
+    def run_noisy_shots(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pattern-grouped Monte-Carlo shots (see :class:`Engine`)."""
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        _check_state(circuit, state)
+        tape = self._tape(circuit)
+        sites: NoiseSiteTable | None = (
+            None if isinstance(noise, NoiselessModel) else tape.noise_sites(noise)
+        )
+        if tape.num_clbits or tape.num_measurements:
+            # Fresh uniforms per (measurement, shot) make every shot's
+            # trajectory distinct, so grouping cannot collapse anything:
+            # fall back to the plain shot-axis path on the exact same
+            # pre-drawn randomness as the tape engine (hence bit-identical).
+            codes, measure_uniforms = _draw_batch_randomness(
+                sites, tape.num_measurements, shots, rng
+            )
+            return _execute_stacked_shots(
+                tape, state, shots, sites, codes, measure_uniforms
+            )
+        if sites is None:
+            empty = np.empty(0, dtype=np.int64)
+            event_site = event_shot = event_code = empty
+        elif isinstance(rng, ShotSeeds):
+            # Seeded mode consumes each shot's own stream in contract order
+            # (the draw every engine shares), then sparsifies the result.
+            codes, _ = draw_shot_randomness(sites, rng, shots)
+            event_site, event_shot = np.nonzero(codes)
+            event_code = codes[event_site, event_shot]
+        else:
+            event_site, event_shot, event_code = sites.draw_sparse(
+                shots, np.random.default_rng() if rng is None else rng
+            )
+        return _execute_grouped_shots(
+            tape, state, shots, sites, event_site, event_shot, event_code
+        )
+
+
+def _execute_grouped_shots(
+    tape: GateTape,
+    state: PathState,
+    shots: int,
+    sites: NoiseSiteTable | None,
+    event_site: np.ndarray,
+    event_shot: np.ndarray,
+    event_code: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Execute the tape once per distinct Pauli pattern and scatter to shots.
+
+    ``event_*`` is the sparse list of non-identity draws.  Shots sharing a
+    pattern share one trajectory, computed in a block of ``1 + n_xy`` slots
+    of ``n_paths`` columns: slot ``0`` is the always-active noiseless
+    carrier; every distinct pattern containing an ``X`` or ``Y`` error owns
+    one slot that joins the block at its first error site's group bucket (by
+    copying the carrier -- exactly the shot's noiseless prefix state), slots
+    ordered by that bucket so the active region is one contiguous growing
+    prefix.  Pure-``Z`` patterns never get a slot: a ``Z`` error only flips
+    the sign of the paths whose bit is set at that moment, and sign flips
+    commute exactly with the kernels' multiplicative phase updates, so each
+    pure-``Z`` pattern is folded into a per-path parity mask read off the
+    carrier and applied to the carrier's final amplitudes.  Zero-error shots
+    scatter straight from the carrier.
+    """
+    n_paths = state.num_paths
+    n_qubits = state.num_qubits
+
+    # ---- distinct patterns: shot-major scan over the sparse event list.
+    order = np.lexsort((event_site, event_shot))
+    by_shot_site = np.ascontiguousarray(event_site[order])
+    by_shot_code = np.ascontiguousarray(event_code[order])
+    shots_with_events, first_event = np.unique(event_shot[order], return_index=True)
+    bounds = np.append(first_event, len(order))
+    pattern_of_shot = np.zeros(shots, dtype=np.int64)  # id 0: the no-error pattern
+    key_to_id: dict[bytes, int] = {}
+    pattern_sites: list[np.ndarray | None] = [None]
+    pattern_codes: list[np.ndarray | None] = [None]
+    for position, shot in enumerate(shots_with_events.tolist()):
+        low, high = bounds[position], bounds[position + 1]
+        key = by_shot_site[low:high].tobytes() + by_shot_code[low:high].tobytes()
+        pattern = key_to_id.get(key)
+        if pattern is None:
+            pattern = len(pattern_sites)
+            key_to_id[key] = pattern
+            pattern_sites.append(by_shot_site[low:high])
+            pattern_codes.append(by_shot_code[low:high])
+        pattern_of_shot[shot] = pattern
+    n_patterns = len(pattern_sites)
+
+    # ---- classify: pure-Z patterns fold into parity rows, others get slots.
+    slot_of_pattern = np.zeros(n_patterns, dtype=np.int64)
+    zrow_of_pattern = np.full(n_patterns, -1, dtype=np.int64)
+    xy_ids: list[int] = []
+    xy_first_bucket: list[int] = []
+    z_ids: list[int] = []
+    for pattern in range(1, n_patterns):
+        if (pattern_codes[pattern] == PAULI_Z).all():
+            zrow_of_pattern[pattern] = len(z_ids)
+            z_ids.append(pattern)
+        else:
+            xy_ids.append(pattern)
+            # Events are site-sorted, so the first entry is the earliest.
+            xy_first_bucket.append(int(sites.group_index[pattern_sites[pattern][0]]))
+    xy_order = sorted(range(len(xy_ids)), key=xy_first_bucket.__getitem__)
+    first_bucket_sorted = [xy_first_bucket[i] for i in xy_order]
+    for rank, i in enumerate(xy_order):
+        slot_of_pattern[xy_ids[i]] = rank + 1
+    n_xy = len(xy_ids)
+    n_z = len(z_ids)
+
+    # ---- merged execution stream, bucketed by group exactly like the
+    # stacked path.  Phase folds are encoded as negative targets; a stable
+    # site sort keeps each pattern's events in execution order (a pattern
+    # has at most one event per site) and the bucket sequence non-decreasing.
+    if n_patterns > 1:
+        ev_site = np.concatenate([pattern_sites[p] for p in range(1, n_patterns)])
+        ev_target = np.concatenate(
+            [
+                np.full(
+                    len(pattern_sites[p]),
+                    slot_of_pattern[p]
+                    if zrow_of_pattern[p] < 0
+                    else -1 - zrow_of_pattern[p],
+                    dtype=np.int64,
+                )
+                for p in range(1, n_patterns)
+            ]
+        )
+        ev_code = np.concatenate([pattern_codes[p] for p in range(1, n_patterns)])
+        ev_order = np.argsort(ev_site, kind="stable")
+        ev_site = ev_site[ev_order]
+        ev_qubit = sites.qubit[ev_site].tolist()
+        ev_target = ev_target[ev_order].tolist()
+        ev_code = ev_code[ev_order].tolist()
+        bucket_starts = np.searchsorted(
+            sites.group_index[ev_site], np.arange(len(tape.groups) + 2)
+        ).tolist()
+    else:
+        ev_qubit = ev_target = ev_code = []
+        bucket_starts = [0] * (len(tape.groups) + 2)
+
+    n_slots = 1 + n_xy
+    bits_q = np.empty((n_qubits, n_slots * n_paths), dtype=bool)
+    bits_q[:, :n_paths] = np.ascontiguousarray(state.bits.T)
+    amps = np.empty(n_slots * n_paths, dtype=complex)
+    amps[:n_paths] = state.amplitudes
+    zparity = np.zeros((n_z, n_paths), dtype=bool) if n_z else None
+
+    active = 1
+    next_activation = 0
+
+    def _activate_through(bucket: int) -> None:
+        nonlocal active, next_activation
+        while (
+            next_activation < n_xy
+            and first_bucket_sorted[next_activation] <= bucket
+        ):
+            low = active * n_paths
+            bits_q[:, low : low + n_paths] = bits_q[:, :n_paths]
+            amps[low : low + n_paths] = amps[:n_paths]
+            active += 1
+            next_activation += 1
+
+    def _apply_bucket(bucket: int) -> None:
+        for event in range(bucket_starts[bucket], bucket_starts[bucket + 1]):
+            target = ev_target[event]
+            if target < 0:
+                zparity[-1 - target] ^= bits_q[ev_qubit[event], :n_paths]
+            else:
+                _apply_error_event(
+                    bits_q, amps, ev_qubit[event], target, ev_code[event], n_paths
+                )
+
+    for index, group in enumerate(tape.groups):
+        width = active * n_paths
+        _apply_group(bits_q[:, :width], amps[:width], group.opcode, group.qubits)
+        _activate_through(index)
+        _apply_bucket(index)
+    final_bucket = len(tape.groups)
+    _activate_through(final_bucket)
+    _apply_bucket(final_bucket)
+
+    # ---- per-pattern amplitudes, then scatter back to shot order.
+    carrier_amps = amps[:n_paths]
+    pattern_amps = np.empty((n_patterns, n_paths), dtype=complex)
+    pattern_amps[0] = carrier_amps
+    if n_z:
+        # Negation is exact and commutes with every multiplicative per-path
+        # update, so the end-of-tape sign mask reproduces applying each Z
+        # event at its own site bit for bit.
+        pattern_amps[z_ids] = np.where(zparity, -carrier_amps, carrier_amps)
+    if n_xy:
+        amps_mat = amps.reshape(n_slots, n_paths)
+        pattern_amps[xy_ids] = amps_mat[slot_of_pattern[xy_ids]]
+    bits_rows = np.ascontiguousarray(bits_q.T).reshape(n_slots, n_paths, n_qubits)
+    out_bits = bits_rows[slot_of_pattern[pattern_of_shot]].reshape(
+        shots * n_paths, n_qubits
+    )
+    out_amps = pattern_amps[pattern_of_shot].reshape(shots * n_paths)
+    return out_bits, out_amps
 
 
 class StatevectorEngine(Engine):
@@ -853,4 +1103,5 @@ def set_default_engine(name: str) -> None:
 
 register_engine(InterpretedFeynmanEngine())
 register_engine(TapeFeynmanEngine())
+register_engine(BatchFeynmanEngine())
 register_engine(StatevectorEngine())

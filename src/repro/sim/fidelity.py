@@ -36,6 +36,22 @@ def _pack_rows(bits: np.ndarray, columns: list[int]) -> list[bytes]:
     return [row.tobytes() for row in packed]
 
 
+def _packed_key_matrix(bits: np.ndarray, columns: list[int]) -> np.ndarray:
+    """Per-row key bytes over ``columns`` as a ``(rows, width)`` uint8 matrix.
+
+    Row ``r`` of the result is byte-for-byte the :func:`_pack_rows` key of
+    row ``r`` (so lookups against dicts keyed by ``_pack_rows`` agree), but
+    kept as a matrix so whole-block comparisons vectorise.
+    """
+    return np.packbits(bits[:, columns], axis=1)
+
+
+def _as_void_keys(matrix: np.ndarray) -> np.ndarray:
+    """View each row of a uint8 key matrix as one fixed-width void scalar."""
+    contiguous = np.ascontiguousarray(matrix)
+    return contiguous.view(np.dtype((np.void, matrix.shape[1])))[:, 0]
+
+
 def _ideal_keep_amplitudes(
     ideal: PathState, keep_columns: list[int]
 ) -> dict[bytes, complex]:
@@ -102,6 +118,13 @@ def shot_fidelities(
 
     When ``keep_qubits`` is ``None`` the full-state fidelity is computed;
     otherwise the reduced fidelity over ``keep_qubits``.
+
+    The reduction is fully vectorised but reproduces the historical per-shot
+    dict loop **bit for bit**: overlap terms accumulate in row order within
+    each ``(shot, rest-state)`` bucket (``np.bincount`` adds sequentially in
+    input order), the squared magnitude uses the same ``hypot`` that
+    ``abs(complex)`` uses, and per-shot bucket contributions sum in
+    first-appearance order -- exactly the old dict's insertion order.
     """
     num_qubits = ideal.num_qubits
     if keep_qubits is None:
@@ -113,18 +136,46 @@ def shot_fidelities(
 
     ideal_keep = _ideal_keep_amplitudes(ideal, keep_columns)
 
-    keep_keys = _pack_rows(bits_block, keep_columns)
-    rest_keys = _pack_rows(bits_block, rest_columns)
+    rows = shots * n_paths
+    # Per-row ideal amplitude and hit mask, resolved once per *distinct*
+    # kept-register basis state instead of once per row.
+    if keep_columns:
+        keep_void = _as_void_keys(_packed_key_matrix(bits_block, keep_columns))
+        unique_keys, keep_inverse = np.unique(keep_void, return_inverse=True)
+        unique_amps = np.array(
+            [ideal_keep.get(key.tobytes(), 0.0 + 0.0j) for key in unique_keys],
+            dtype=complex,
+        )
+        unique_hit = np.array(
+            [key.tobytes() in ideal_keep for key in unique_keys], dtype=bool
+        )
+        row_amp = unique_amps[keep_inverse]
+        matched = np.nonzero(unique_hit[keep_inverse])[0]
+    else:
+        row_amp = np.full(rows, complex(ideal_keep[b""]))
+        matched = np.arange(rows)
 
-    fidelities = np.empty(shots, dtype=float)
-    for shot in range(shots):
-        start = shot * n_paths
-        overlaps: dict[bytes, complex] = {}
-        for row in range(start, start + n_paths):
-            ideal_amp = ideal_keep.get(keep_keys[row])
-            if ideal_amp is None:
-                continue
-            key = rest_keys[row]
-            overlaps[key] = overlaps.get(key, 0.0 + 0.0j) + np.conj(ideal_amp) * amps_block[row]
-        fidelities[shot] = sum(abs(value) ** 2 for value in overlaps.values())
-    return fidelities
+    weights = np.conj(row_amp[matched]) * amps_block[matched]
+    shot_of_match = matched // n_paths
+
+    if not rest_columns:
+        # One overlap bucket per shot: the traced register set is empty.
+        real = np.bincount(shot_of_match, weights=weights.real, minlength=shots)
+        imag = np.bincount(shot_of_match, weights=weights.imag, minlength=shots)
+        return np.hypot(real, imag) ** 2
+
+    # Bucket matched rows by (shot, rest-state): prefix the rest key bytes
+    # with the shot index so one void-key unique covers both.
+    rest_matrix = _packed_key_matrix(bits_block, rest_columns)[matched]
+    shot_bytes = shot_of_match.astype(np.uint64)[:, None].view(np.uint8)
+    combo = _as_void_keys(np.concatenate([shot_bytes, rest_matrix], axis=1))
+    _, first_position, bucket_of_match = np.unique(
+        combo, return_index=True, return_inverse=True
+    )
+    real = np.bincount(bucket_of_match, weights=weights.real)
+    imag = np.bincount(bucket_of_match, weights=weights.imag)
+    squared = np.hypot(real, imag) ** 2
+    # Buckets contribute to their shot in first-appearance order.
+    appearance = np.argsort(first_position, kind="stable")
+    bucket_shot = shot_of_match[first_position[appearance]]
+    return np.bincount(bucket_shot, weights=squared[appearance], minlength=shots)

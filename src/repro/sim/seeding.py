@@ -21,7 +21,7 @@ The execution engines (:mod:`repro.sim.engine`) accept a ``ShotSeeds`` in
 place of a ``numpy.random.Generator`` in ``run_noisy_shots``; in that mode
 every shot's Pauli error codes are drawn from the shot's own generator, in
 noise-site order, using the threshold sampler
-(:meth:`repro.sim.noise.PauliChannel.sample_thresholded`).  Both Feynman
+(:meth:`repro.sim.noise.PauliChannel.sample_thresholded`).  All Feynman
 engines share this contract, so their trajectories remain bit-identical to
 each other in seeded mode, and any sharding of the shot range reproduces the
 unsharded run exactly.
@@ -33,7 +33,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-__all__ = ["ShotSeeds"]
+__all__ = ["ShotSeeds", "draw_shot_randomness"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +83,42 @@ class ShotSeeds:
     def shifted(self, offset: int) -> "ShotSeeds":
         """The same stream with the window moved ``offset`` shots forward."""
         return replace(self, start=self.start + offset)
+
+
+def draw_shot_randomness(
+    sites,
+    seeds: ShotSeeds,
+    shots: int,
+    n_measurements: int = 0,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Draw every shot's seeded randomness up front: ``(codes, uniforms)``.
+
+    This is the single implementation of the per-shot random-stream contract
+    (all engines and :meth:`repro.circuit.ir.NoiseSiteTable.draw_per_shot`
+    delegate here): each shot's generator is consumed in the fixed order --
+    **measurement uniforms first** (``n_measurements`` values), **then the
+    noise-site codes** (one threshold draw per site of ``sites``, a
+    :class:`~repro.circuit.ir.NoiseSiteTable` or ``None``).  Because a shot's
+    draws depend only on its own stream, any sharding of the shot range
+    reproduces the unsharded draw exactly.
+
+    Returns ``codes`` of shape ``(n_sites, shots)`` (``None`` without a site
+    table) and ``uniforms`` of shape ``(n_measurements, shots)`` (``None``
+    without measurements); both are laid out shot-per-column so downstream
+    consumers can vectorise across the shot axis.
+    """
+    codes = (
+        np.empty((sites.n_sites, shots), dtype=np.int64)
+        if sites is not None
+        else None
+    )
+    uniforms = (
+        np.empty((n_measurements, shots), dtype=float) if n_measurements else None
+    )
+    for shot in range(shots):
+        generator = seeds.generator(shot)
+        if uniforms is not None:
+            uniforms[:, shot] = generator.random(n_measurements)
+        if codes is not None:
+            codes[:, shot] = sites.draw_shot(generator)
+    return codes, uniforms

@@ -1,0 +1,249 @@
+"""The feynman-batch engine: grouped execution equals the per-shot loop.
+
+The batch engine's tentpole claim is that running the tape once per
+*distinct* sampled error pattern (with pure-Z patterns folded into per-path
+sign masks off a single noiseless carrier) reproduces the tape engine's
+per-shot loop **bit for bit** under the :class:`~repro.sim.ShotSeeds`
+contract.  These tests pin that claim on the degenerate corners (no noise,
+one shared pattern, measured-circuit fallback), as a hypothesis property
+over arbitrary sharding windows, and separately pin the sparse aggregate
+sampler (:meth:`~repro.circuit.ir.NoiseSiteTable.draw_sparse`) and the
+vectorised per-shot fidelity reduction against their reference loops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.experiments.common import random_memory
+from repro.qram import VirtualQRAM
+from repro.sim import (
+    GateNoiseModel,
+    NoiselessModel,
+    PauliChannel,
+    ShotSeeds,
+    get_engine,
+)
+from repro.sim.fidelity import (
+    _ideal_keep_amplitudes,
+    _pack_rows,
+    shot_fidelities,
+)
+from repro.sim.paths import PathState
+
+DEPOL = GateNoiseModel(PauliChannel.depolarizing(0.05))
+
+
+def _compiled():
+    architecture = VirtualQRAM(memory=random_memory(2, 7), qram_width=2)
+    return architecture.compiled_query()
+
+
+def _run(engine_name: str, noise, shots: int, rng):
+    compiled = _compiled()
+    return get_engine(engine_name).run_noisy_shots(
+        compiled.circuit, compiled.input_state, noise, shots, rng=rng
+    )
+
+
+def _assert_blocks_equal(left, right):
+    assert np.array_equal(left[0], right[0])
+    assert np.array_equal(left[1], right[1])
+
+
+class TestEdgeCases:
+    def test_zero_shots_rejected(self):
+        with pytest.raises(ValueError, match="shots"):
+            _run("feynman-batch", DEPOL, 0, ShotSeeds(seed=0))
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError, match="shots"):
+            _run("feynman-batch", DEPOL, -3, ShotSeeds(seed=0))
+
+    @pytest.mark.parametrize("rng", [None, ShotSeeds(seed=5)])
+    def test_noise_free_circuit_matches_tape(self, rng):
+        # Without noise sites every shot is the carrier run: the grouped
+        # engine must reproduce the tape loop for any rng flavour.
+        tape = _run("feynman-tape", NoiselessModel(), 6, ShotSeeds(seed=5))
+        batch = _run("feynman-batch", NoiselessModel(), 6, rng)
+        _assert_blocks_equal(tape, batch)
+
+    def test_every_shot_shares_one_pattern(self):
+        # p_x = 1: every site errs on every shot, so all 8 shots collapse
+        # into a single distinct pattern executed exactly once.
+        noise = GateNoiseModel(PauliChannel(p_x=1.0))
+        seeds = ShotSeeds(seed=2)
+        _assert_blocks_equal(
+            _run("feynman-tape", noise, 8, seeds),
+            _run("feynman-batch", noise, 8, seeds),
+        )
+
+    def test_pure_z_noise_folds_exactly(self):
+        # Phase-flip noise exercises only the zparity fold: no slot is ever
+        # activated, yet the signs must match the tape loop bit for bit.
+        noise = GateNoiseModel(PauliChannel.phase_flip(0.2))
+        seeds = ShotSeeds(seed=9)
+        _assert_blocks_equal(
+            _run("feynman-tape", noise, 16, seeds),
+            _run("feynman-batch", noise, 16, seeds),
+        )
+
+    def test_generator_mode_is_deterministic_per_seed(self):
+        # Bulk-Generator mode samples events sparsely (no per-shot stream),
+        # but equal generators must still reproduce the block exactly.
+        first = _run("feynman-batch", DEPOL, 16, np.random.default_rng(8))
+        second = _run("feynman-batch", DEPOL, 16, np.random.default_rng(8))
+        _assert_blocks_equal(first, second)
+        n_paths = _compiled().input_state.num_paths
+        assert first[0].shape[0] == 16 * n_paths
+
+    def test_measured_circuit_falls_back_bit_identical(self):
+        # Measurement collapse depends on the shot's own uniforms, so the
+        # batch engine falls back to the stacked per-shot path -- on the
+        # same up-front draw, hence still bit-identical to the tape engine.
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.cx(0, 1)
+        cbit = circuit.measure(0, basis="X")
+        circuit.cpauli("Z", 1, [cbit])
+        circuit.cpauli("X", 0, [cbit])
+        state = PathState.register_superposition(2, [0], {0: 0.6, 1: 0.8})
+        noise = GateNoiseModel(PauliChannel.depolarizing(0.05))
+        seeds = ShotSeeds(seed=4)
+        blocks = [
+            get_engine(name).run_noisy_shots(circuit, state, noise, 12, rng=seeds)
+            for name in ("feynman-tape", "feynman-batch")
+        ]
+        _assert_blocks_equal(blocks[0], blocks[1])
+
+
+class TestShardingProperty:
+    @given(
+        windows=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        seed=st.integers(0, 50),
+        point_index=st.integers(0, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_windows_reproduce_the_tape_run(
+        self, windows, seed, point_index
+    ):
+        # Any partition of the shot range into ShotSeeds windows, executed
+        # by the batch engine, concatenates to the unsharded tape run.
+        shots = sum(windows)
+        seeds = ShotSeeds(seed=seed, point_index=point_index)
+        tape_bits, tape_amps = _run("feynman-tape", DEPOL, shots, seeds)
+        pieces = []
+        start = 0
+        for width in windows:
+            pieces.append(
+                _run("feynman-batch", DEPOL, width, seeds.shifted(start))
+            )
+            start += width
+        batch_bits = np.concatenate([piece[0] for piece in pieces])
+        batch_amps = np.concatenate([piece[1] for piece in pieces])
+        assert np.array_equal(tape_bits, batch_bits)
+        assert np.array_equal(tape_amps, batch_amps)
+
+
+class TestDrawSparse:
+    def _sites(self, channel: PauliChannel):
+        return _compiled().tape.noise_sites(GateNoiseModel(channel))
+
+    def test_deterministic_under_equal_generators(self):
+        sites = self._sites(PauliChannel.depolarizing(0.05))
+        first = sites.draw_sparse(32, np.random.default_rng(3))
+        second = sites.draw_sparse(32, np.random.default_rng(3))
+        for left, right in zip(first, second):
+            assert np.array_equal(left, right)
+
+    def test_events_are_valid_sorted_and_unique(self):
+        sites = self._sites(PauliChannel.depolarizing(0.2))
+        shots = 16
+        site, shot, code = sites.draw_sparse(shots, np.random.default_rng(1))
+        assert len(site) > 0  # p = 0.2 over hundreds of cells
+        assert ((site >= 0) & (site < sites.n_sites)).all()
+        assert ((shot >= 0) & (shot < shots)).all()
+        assert np.isin(code, [1, 2, 3]).all()
+        flat = site * shots + shot
+        assert (np.diff(flat) > 0).all()  # sorted, no duplicate cells
+
+    def test_trivial_channel_yields_no_sites_and_no_events(self):
+        sites = self._sites(PauliChannel.phase_flip(0.0))
+        assert sites.n_sites == 0
+        site, shot, code = sites.draw_sparse(8, np.random.default_rng(0))
+        assert len(site) == len(shot) == len(code) == 0
+
+    def test_phase_flip_draws_only_z(self):
+        sites = self._sites(PauliChannel.phase_flip(0.3))
+        _, _, code = sites.draw_sparse(16, np.random.default_rng(7))
+        assert len(code) > 0
+        assert (code == 3).all()
+
+
+def _reference_shot_fidelities(
+    ideal, bits_block, amps_block, *, shots, n_paths, keep_qubits=None
+):
+    """The historical per-shot dict loop that ``shot_fidelities`` vectorised."""
+    num_qubits = ideal.num_qubits
+    if keep_qubits is None:
+        keep_columns = list(range(num_qubits))
+        rest_columns = []
+    else:
+        keep_columns = list(keep_qubits)
+        rest_columns = [
+            q for q in range(num_qubits) if q not in set(keep_columns)
+        ]
+    ideal_keep = _ideal_keep_amplitudes(ideal, keep_columns)
+    fidelities = np.zeros(shots)
+    for index in range(shots):
+        rows = slice(index * n_paths, (index + 1) * n_paths)
+        keep_keys = _pack_rows(bits_block[rows], keep_columns)
+        rest_keys = _pack_rows(bits_block[rows], rest_columns)
+        overlaps: dict[bytes, complex] = {}
+        for keep_key, rest_key, amp in zip(
+            keep_keys, rest_keys, amps_block[rows]
+        ):
+            ideal_amp = ideal_keep.get(keep_key)
+            if ideal_amp is None:
+                continue
+            overlaps[rest_key] = (
+                overlaps.get(rest_key, 0.0 + 0.0j) + np.conj(ideal_amp) * amp
+            )
+        fidelities[index] = sum(abs(value) ** 2 for value in overlaps.values())
+    return fidelities
+
+
+class TestVectorisedFidelity:
+    @pytest.mark.parametrize("engine_name", ["feynman-tape", "feynman-batch"])
+    @pytest.mark.parametrize("reduced", [False, True])
+    def test_matches_reference_loop_bit_for_bit(self, engine_name, reduced):
+        compiled = _compiled()
+        noise = GateNoiseModel(PauliChannel.depolarizing(0.05))
+        shots = 24
+        bits, amps = get_engine(engine_name).run_noisy_shots(
+            compiled.circuit,
+            compiled.input_state,
+            noise,
+            shots,
+            rng=ShotSeeds(seed=13),
+        )
+        keep = list(compiled.kept_qubits) if reduced else None
+        n_paths = compiled.input_state.num_paths
+        vectorised = shot_fidelities(
+            compiled.ideal_output,
+            bits,
+            amps,
+            shots=shots,
+            n_paths=n_paths,
+            keep_qubits=keep,
+        )
+        reference = _reference_shot_fidelities(
+            compiled.ideal_output,
+            bits,
+            amps,
+            shots=shots,
+            n_paths=n_paths,
+            keep_qubits=keep,
+        )
+        assert np.array_equal(vectorised, reference)

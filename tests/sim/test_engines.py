@@ -60,9 +60,12 @@ def _amplitudes_match(a: PathState, b: PathState, tol: float = 1e-9) -> bool:
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert {"feynman-interp", "feynman-tape", "statevector"} <= set(
-            available_engines()
-        )
+        assert {
+            "feynman-interp",
+            "feynman-tape",
+            "feynman-batch",
+            "statevector",
+        } <= set(available_engines())
 
     def test_get_engine_by_name_and_instance(self):
         engine = get_engine("feynman-tape")
