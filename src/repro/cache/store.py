@@ -1,0 +1,163 @@
+"""Content-addressed on-disk store for scenario sweep records.
+
+Layout: ``<root>/<fp[:2]>/<fp>.json`` -- one JSON document per fingerprint,
+sharded by the first hex byte so a hot cache never piles every artefact into
+a single directory.  Each document carries the cache schema version, its own
+fingerprint, and the record rows in ``ScenarioRecord.as_dict()`` form.
+
+Durability contract:
+
+* **Atomic writes.**  Documents are written to a same-directory temp file
+  and ``os.replace``-d into place, so readers (including concurrent server
+  threads and parallel CI jobs) only ever see absent or complete files --
+  never a torn write.  Concurrent writers of the same fingerprint are
+  harmless: both write identical bytes (content addressing) and the last
+  rename wins.
+* **Corruption-tolerant reads.**  Anything unexpected -- unparseable JSON,
+  a schema-version or fingerprint mismatch, record rows that fail
+  ``ScenarioRecord.from_dict`` validation -- reads as a *miss*, never an
+  exception: the caller re-runs and overwrites.  A cache can therefore be
+  truncated, hand-edited or written by a future schema without breaking
+  anyone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.cache.fingerprint import CACHE_SCHEMA_VERSION
+from repro.scenarios.record import ScenarioRecord
+
+#: Environment variable naming the cache root.  ``run_scenario(cache=None)``
+#: enables caching iff this is set; ``cache=True`` falls back to
+#: :data:`DEFAULT_CACHE_DIR` when it is not.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Cache root used by ``cache=True`` / ``--cache`` when the environment
+#: variable is unset.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-qram"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or the per-user default."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+
+class ResultCache:
+    """Content-addressed store mapping run fingerprints to record lists."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.root)!r})"
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where ``fingerprint``'s document lives (whether or not it exists)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ----------------------------------------------------------------- reads
+    def get(self, fingerprint: str) -> list[ScenarioRecord] | None:
+        """The cached records for ``fingerprint``, or ``None`` on any miss.
+
+        Corrupt, truncated, mislabelled or schema-incompatible documents
+        are misses, not errors (see the module docstring).
+        """
+        payload = self.get_payload(fingerprint)
+        if payload is None:
+            return None
+        try:
+            return [ScenarioRecord.from_dict(row) for row in payload["records"]]
+        except (ValueError, TypeError):
+            return None
+
+    def get_payload(self, fingerprint: str) -> dict | None:
+        """The raw validated document for ``fingerprint``, or ``None``.
+
+        The HTTP results endpoint serves this directly, so the bytes a
+        client receives are exactly the bytes ``put`` committed.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        if not isinstance(payload.get("records"), list):
+            return None
+        return payload
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get_payload(fingerprint) is not None
+
+    # ---------------------------------------------------------------- writes
+    def put(self, fingerprint: str, records: list[ScenarioRecord]) -> Path:
+        """Atomically commit ``records`` under ``fingerprint``; return the path.
+
+        Serialization is canonical (sorted keys, fixed indentation), so two
+        processes caching the same run write byte-identical documents -- the
+        property the CI warm/cold payload diff asserts end to end.
+        """
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "records": [record.as_dict() for record in records],
+        }
+        blob = json.dumps(document, sort_keys=True, indent=2) + "\n"
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------- inventory
+    def fingerprints(self) -> list[str]:
+        """Every fingerprint with a well-formed document, sorted."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in self.root.glob("??/*.json"):
+            fingerprint = path.stem
+            if self.get_payload(fingerprint) is not None:
+                found.append(fingerprint)
+        return sorted(found)
+
+
+def resolve_cache(cache: "ResultCache | bool | str | Path | None") -> ResultCache | None:
+    """Normalise a ``cache=`` argument into a :class:`ResultCache` or ``None``.
+
+    * ``None`` -- enabled iff ``$REPRO_CACHE_DIR`` is set (opt-in by
+      environment, the CI mode);
+    * ``True`` / ``False`` -- force on (env var or default dir) / off;
+    * a path -- a cache rooted there;
+    * a :class:`ResultCache` -- used as is.
+    """
+    if cache is None:
+        env = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+        return ResultCache(env) if env else None
+    if isinstance(cache, bool):
+        return ResultCache() if cache else None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments scenario --list
     python -m repro.experiments scenario htree-swap-m3 --workers 4 --out out/
     python -m repro.experiments scenario htree-swap-m3 --router lookahead
+    python -m repro.experiments scenario htree-swap-m3 --cache
 
 Each experiment prints the same rows/series the paper reports (via the
 ``*_report`` helpers) and, when ``--out`` is given, also writes the raw
@@ -207,6 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write CSV/Markdown records into",
     )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        action="store_true",
+        help="consult the content-addressed result cache for scenario runs "
+        "($REPRO_CACHE_DIR, else ~/.cache/repro-qram): warm hits return the "
+        "stored records, bit-identical to a fresh run, without executing "
+        "anything",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result cache even when REPRO_CACHE_DIR is set",
+    )
     return parser
 
 
@@ -248,6 +263,8 @@ def run_scenarios(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    # Neither flag: cache iff $REPRO_CACHE_DIR is set (see repro.cache.store).
+    cache = True if args.cache else (False if args.no_cache else None)
     for name in args.names:
         records = run_scenario(
             name,
@@ -255,6 +272,7 @@ def run_scenarios(args) -> int:
             seed=args.seed,
             workers=args.workers,
             shard_size=args.shard_size,
+            cache=cache,
         )
         print(scenario_report(name, records))
         if args.out:

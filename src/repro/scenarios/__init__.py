@@ -16,7 +16,8 @@ registers the built-in scenarios of :mod:`~repro.scenarios.builtin`;
 
 from repro.scenarios.builtin import BUILTIN_SCENARIOS
 from repro.scenarios.compile import CompiledScenario, compile_scenario
-from repro.scenarios.run import run_scenario, scenario_report
+from repro.scenarios.record import RECORD_SCHEMA_VERSION, ScenarioRecord
+from repro.scenarios.run import resolve_run, run_scenario, scenario_report
 from repro.scenarios.spec import (
     ScenarioSpec,
     available_scenarios,
@@ -28,12 +29,15 @@ from repro.scenarios.spec import (
 __all__ = [
     "BUILTIN_SCENARIOS",
     "CompiledScenario",
+    "RECORD_SCHEMA_VERSION",
+    "ScenarioRecord",
     "ScenarioSpec",
     "available_scenarios",
     "compile_scenario",
     "get_scenario",
     "iter_scenarios",
     "register_scenario",
+    "resolve_run",
     "run_scenario",
     "scenario_report",
 ]

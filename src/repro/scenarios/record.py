@@ -1,0 +1,132 @@
+"""The typed, versioned scenario sweep-point record.
+
+:func:`repro.scenarios.run.run_scenario` historically returned ad-hoc
+``dict[str, object]`` rows.  :class:`ScenarioRecord` replaces them with a
+frozen dataclass carrying an explicit ``schema_version``, a canonical
+``to_json``/``from_json`` round trip (the serialization the result cache
+and the HTTP API store and serve), and full read-only mapping duck-typing
+(``record["fidelity"]``, ``dict(record)``, ``record.get(...)``) so every
+existing consumer -- ``format_table``, ``records_to_csv/json/markdown``,
+the tests -- keeps working unchanged.
+
+Versioning contract: any change to the field set or to a field's meaning
+bumps :data:`RECORD_SCHEMA_VERSION`; the cache fingerprint includes the
+version, so artefacts written under an old schema can never be served as
+current ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+#: Version of the record field set below.  Bump on any field change: the
+#: cache fingerprint mixes it in, so stale artefacts miss instead of lying.
+RECORD_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One sweep point of one scenario run, fully self-describing.
+
+    Every configuration axis that influenced the numbers is stamped in --
+    including the *resolved* ``engine`` and ``router`` names (never ``None``
+    or a session default left implicit), so a record pulled out of the cache
+    or served over HTTP is interpretable without the session that made it.
+
+    The class is a read-only mapping over its field names: ``record[key]``,
+    ``key in record``, ``iter(record)``, ``len(record)``, ``record.get(key)``
+    and therefore ``dict(record)`` all work, matching the historical plain
+    dict rows byte-for-byte in the JSON/CSV exports.
+    """
+
+    scenario: str
+    architecture: str
+    m: int
+    k: int
+    mapping: str
+    routing: str
+    router: str
+    device: str
+    num_qubits: int
+    logical_gates: int
+    executed_gates: int
+    extra_swaps: int
+    link_operations: int
+    measurements: int
+    logical_depth: int
+    executed_depth: int
+    idle_error: float
+    readout_error: float
+    error_reduction_factor: float
+    shots: int
+    engine: str
+    fidelity: float
+    std_error: float
+    schema_version: int = RECORD_SCHEMA_VERSION
+
+    # ------------------------------------------------------- mapping protocol
+    def keys(self) -> tuple[str, ...]:
+        """Field names in declaration order (the export column order)."""
+        return tuple(field.name for field in fields(self))
+
+    def __getitem__(self, key: str) -> object:
+        if not isinstance(key, str) or key.startswith("_") or not hasattr(self, key):
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def get(self, key: str, default: object = None) -> object:
+        """Mapping-style lookup with a default, mirroring ``dict.get``."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and not key.startswith("_") and hasattr(self, key)
+
+    # --------------------------------------------------------- serialization
+    def as_dict(self) -> dict[str, object]:
+        """Plain ``dict`` escape hatch, in field order."""
+        return {key: getattr(self, key) for key in self.keys()}
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace -- the cached bytes."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ScenarioRecord":
+        """Rebuild a record from :meth:`as_dict` output.
+
+        Rejects unknown keys and schema-version mismatches outright rather
+        than guessing at a migration -- the cache treats the resulting
+        ``ValueError`` as a miss and re-runs.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"record payload must be a dict, got {type(payload)}")
+        expected = {field.name for field in fields(cls)}
+        unknown = set(payload) - expected
+        if unknown:
+            raise ValueError(f"unknown record fields: {sorted(unknown)}")
+        missing = expected - set(payload)
+        if missing - {"schema_version"}:
+            raise ValueError(f"missing record fields: {sorted(missing)}")
+        version = payload.get("schema_version", RECORD_SCHEMA_VERSION)
+        if version != RECORD_SCHEMA_VERSION:
+            raise ValueError(
+                f"record schema_version {version!r} != "
+                f"current {RECORD_SCHEMA_VERSION}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioRecord":
+        """Inverse of :meth:`to_json` (same validation as :meth:`from_dict`)."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,16 @@
+"""``python -m repro.server`` -- run the scenario-results HTTP API.
+
+Usage::
+
+    python -m repro.server --port 8035 --cache-dir /var/cache/repro
+    REPRO_CACHE_DIR=/var/cache/repro python -m repro.server
+
+See :mod:`repro.server.app` for the routes and options.
+"""
+
+import sys
+
+from repro.server.app import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The uniform JSON response envelope of the versioned HTTP API.
+
+Every response body -- success or failure, any route -- has the same shape,
+so clients branch on structure, not on per-endpoint conventions:
+
+.. code-block:: text
+
+    {"api_version": "v1", "status": "ok",    "data":  { ... }}
+    {"api_version": "v1", "status": "error", "error": {"code": ..., "message": ...}}
+
+``code`` is a stable machine-readable slug (``unknown_route``,
+``unknown_scenario``, ``not_found``, ``invalid_request``,
+``method_not_allowed``); ``message`` is human-readable and may change
+freely.  The envelope's ``api_version`` matches the route prefix
+(``/api/v1/...``), so a future ``v2`` can change either independently.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: The API version stamped into every envelope and every route prefix.
+API_VERSION = "v1"
+
+#: Route prefix all endpoints live under.
+API_PREFIX = f"/api/{API_VERSION}"
+
+
+def ok_envelope(data: object) -> dict[str, object]:
+    """A success envelope wrapping ``data``."""
+    return {"api_version": API_VERSION, "status": "ok", "data": data}
+
+
+def error_envelope(code: str, message: str) -> dict[str, object]:
+    """An error envelope with a stable ``code`` slug and a human message."""
+    return {
+        "api_version": API_VERSION,
+        "status": "error",
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode(payload: dict[str, object]) -> bytes:
+    """Serialize an envelope to the canonical wire bytes (sorted keys)."""
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")

@@ -1,0 +1,161 @@
+"""The on-disk store: atomic commits, corruption-tolerant reads."""
+
+import json
+import os
+
+from repro.cache import CACHE_SCHEMA_VERSION, ResultCache, resolve_cache
+from repro.cache.store import CACHE_DIR_ENV_VAR, default_cache_dir
+from repro.scenarios.record import ScenarioRecord
+
+FP = "ab" + "0" * 62
+OTHER_FP = "cd" + "1" * 62
+
+
+def _record(**overrides) -> ScenarioRecord:
+    base = dict(
+        scenario="s",
+        architecture="virtual",
+        m=2,
+        k=0,
+        mapping="none",
+        routing="-",
+        router="greedy-swap",
+        device="reference",
+        num_qubits=5,
+        logical_gates=10,
+        executed_gates=10,
+        extra_swaps=0,
+        link_operations=0,
+        measurements=0,
+        logical_depth=4,
+        executed_depth=4,
+        idle_error=0.0,
+        readout_error=0.0,
+        error_reduction_factor=1.0,
+        shots=16,
+        engine="feynman-tape",
+        fidelity=0.5,
+        std_error=0.01,
+    )
+    base.update(overrides)
+    return ScenarioRecord(**base)
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_equal_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        records = [_record(), _record(error_reduction_factor=10.0, fidelity=0.9)]
+        path = cache.put(FP, records)
+        assert path == cache.path_for(FP)
+        assert path.is_file()
+        assert cache.get(FP) == records
+
+    def test_layout_shards_by_fingerprint_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.path_for(FP) == tmp_path / FP[:2] / f"{FP}.json"
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(FP) is None
+        assert FP not in cache
+        assert cache.fingerprints() == []
+
+    def test_fingerprints_lists_committed_documents(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, [_record()])
+        cache.put(OTHER_FP, [_record()])
+        assert cache.fingerprints() == sorted([FP, OTHER_FP])
+
+    def test_put_is_idempotent_and_byte_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, [_record()])
+        first = cache.path_for(FP).read_bytes()
+        cache.put(FP, [_record()])
+        assert cache.path_for(FP).read_bytes() == first
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, [_record()])
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestCorruptionTolerance:
+    def _commit(self, tmp_path) -> ResultCache:
+        cache = ResultCache(tmp_path)
+        cache.put(FP, [_record()])
+        return cache
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        path = cache.path_for(FP)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert cache.get(FP) is None
+
+    def test_non_json_garbage_is_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        cache.path_for(FP).write_bytes(b"\x00\xff not json")
+        assert cache.get(FP) is None
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        payload = json.loads(cache.path_for(FP).read_text())
+        payload["schema_version"] = CACHE_SCHEMA_VERSION + 1
+        cache.path_for(FP).write_text(json.dumps(payload))
+        assert cache.get(FP) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        """A document renamed to another address must not be served."""
+        cache = self._commit(tmp_path)
+        target = cache.path_for(OTHER_FP)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(cache.path_for(FP), target)
+        assert cache.get(OTHER_FP) is None
+
+    def test_invalid_record_rows_are_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        payload = json.loads(cache.path_for(FP).read_text())
+        payload["records"][0]["surprise"] = 1
+        cache.path_for(FP).write_text(json.dumps(payload))
+        assert cache.get(FP) is None
+
+    def test_non_dict_document_is_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        cache.path_for(FP).write_text(json.dumps([1, 2, 3]))
+        assert cache.get(FP) is None
+
+    def test_records_not_a_list_is_a_miss(self, tmp_path):
+        cache = self._commit(tmp_path)
+        payload = json.loads(cache.path_for(FP).read_text())
+        payload["records"] = {"oops": 1}
+        cache.path_for(FP).write_text(json.dumps(payload))
+        assert cache.get(FP) is None
+
+    def test_corrupt_neighbour_does_not_hide_good_documents(self, tmp_path):
+        cache = self._commit(tmp_path)
+        cache.put(OTHER_FP, [_record()])
+        cache.path_for(FP).write_text("garbage")
+        assert cache.fingerprints() == [OTHER_FP]
+
+
+class TestResolveCache:
+    def test_none_without_env_disables(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert resolve_cache(None) is None
+
+    def test_none_with_env_enables_at_env_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        cache = resolve_cache(None)
+        assert cache is not None
+        assert cache.root == tmp_path
+        assert default_cache_dir() == tmp_path
+
+    def test_booleans_force_on_and_off(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert resolve_cache(False) is None
+        assert resolve_cache(True).root == tmp_path
+
+    def test_explicit_path_and_instance_pass_through(self, tmp_path):
+        by_path = resolve_cache(tmp_path)
+        assert by_path.root == tmp_path
+        assert resolve_cache(by_path) is by_path

@@ -1,0 +1,161 @@
+"""``ScenarioRecord``: schema versioning, round trips, mapping duck-typing."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import run_scenario
+from repro.scenarios.record import RECORD_SCHEMA_VERSION, ScenarioRecord
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=24
+)
+_counts = st.integers(min_value=0, max_value=10**9)
+_floats = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+#: Generate arbitrary (not merely realistic) field values: the round trip
+#: must hold for anything the dataclass can carry.
+records = st.builds(
+    ScenarioRecord,
+    scenario=_names,
+    architecture=_names,
+    m=st.integers(min_value=1, max_value=12),
+    k=_counts,
+    mapping=_names,
+    routing=_names,
+    router=_names,
+    device=_names,
+    num_qubits=_counts,
+    logical_gates=_counts,
+    executed_gates=_counts,
+    extra_swaps=_counts,
+    link_operations=_counts,
+    measurements=_counts,
+    logical_depth=_counts,
+    executed_depth=_counts,
+    idle_error=_floats,
+    readout_error=_floats,
+    error_reduction_factor=_floats,
+    shots=st.integers(min_value=1, max_value=10**6),
+    engine=_names,
+    fidelity=_floats,
+    std_error=_floats,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(records)
+def test_json_round_trip_is_identity(record):
+    assert ScenarioRecord.from_json(record.to_json()) == record
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_dict_round_trip_and_mapping_equivalence(record):
+    assert ScenarioRecord.from_dict(record.as_dict()) == record
+    assert dict(record) == record.as_dict()
+    assert json.loads(record.to_json()) == record.as_dict()
+
+
+class TestMappingProtocol:
+    RECORD = ScenarioRecord(
+        scenario="s",
+        architecture="virtual",
+        m=2,
+        k=0,
+        mapping="none",
+        routing="-",
+        router="greedy-swap",
+        device="reference",
+        num_qubits=5,
+        logical_gates=10,
+        executed_gates=10,
+        extra_swaps=0,
+        link_operations=0,
+        measurements=0,
+        logical_depth=4,
+        executed_depth=4,
+        idle_error=0.0,
+        readout_error=0.0,
+        error_reduction_factor=1.0,
+        shots=16,
+        engine="feynman-tape",
+        fidelity=0.5,
+        std_error=0.01,
+    )
+
+    def test_getitem_and_contains(self):
+        assert self.RECORD["fidelity"] == 0.5
+        assert "scenario" in self.RECORD
+        assert "nope" not in self.RECORD
+
+    def test_getitem_raises_keyerror_like_a_dict(self):
+        with pytest.raises(KeyError):
+            self.RECORD["nope"]
+        with pytest.raises(KeyError):
+            self.RECORD["__class__"]  # attribute access is not item access
+        with pytest.raises(KeyError):
+            self.RECORD[0]
+
+    def test_get_with_default(self):
+        assert self.RECORD.get("engine") == "feynman-tape"
+        assert self.RECORD.get("nope", "fallback") == "fallback"
+
+    def test_iteration_and_length_cover_all_fields(self):
+        keys = list(self.RECORD)
+        assert len(keys) == len(self.RECORD)
+        assert keys == list(self.RECORD.keys())
+        assert keys[-1] == "schema_version"
+        assert self.RECORD.as_dict() == {k: self.RECORD[k] for k in keys}
+
+    def test_schema_version_defaults_to_current(self):
+        assert self.RECORD.schema_version == RECORD_SCHEMA_VERSION
+        assert self.RECORD["schema_version"] == RECORD_SCHEMA_VERSION
+
+
+class TestValidation:
+    PAYLOAD = json.loads(TestMappingProtocol.RECORD.to_json())
+
+    def _reject(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            ScenarioRecord.from_dict(payload)
+
+    def test_unknown_field_rejected(self):
+        self._reject({**self.PAYLOAD, "surprise": 1}, "unknown record fields")
+
+    def test_missing_field_rejected(self):
+        payload = dict(self.PAYLOAD)
+        del payload["fidelity"]
+        self._reject(payload, "missing record fields")
+
+    def test_missing_schema_version_is_tolerated(self):
+        """schema_version is the only defaultable field (current version)."""
+        payload = dict(self.PAYLOAD)
+        del payload["schema_version"]
+        assert (
+            ScenarioRecord.from_dict(payload).schema_version
+            == RECORD_SCHEMA_VERSION
+        )
+
+    def test_stale_schema_version_rejected(self):
+        self._reject(
+            {**self.PAYLOAD, "schema_version": RECORD_SCHEMA_VERSION + 1},
+            "schema_version",
+        )
+
+    def test_non_dict_payload_rejected(self):
+        self._reject([1, 2], "must be a dict")
+
+
+def test_run_scenario_returns_typed_records():
+    """The API-redesign acceptance: typed records flow out of real runs."""
+    records = run_scenario("ideal-m3", shots=8, seed=3, workers=1)
+    assert all(isinstance(record, ScenarioRecord) for record in records)
+    assert all(record.schema_version == RECORD_SCHEMA_VERSION for record in records)
+    assert all(record.router == "greedy-swap" for record in records)
+    round_tripped = [ScenarioRecord.from_json(r.to_json()) for r in records]
+    assert round_tripped == records
