@@ -43,6 +43,8 @@ from repro.sim import GateNoiseModel, PauliChannel, ShotSeeds, get_engine
 M = 5
 SHOTS = 256
 EPSILON = 1e-3
+BRANCH_SHOTS = 128
+BRANCH_SEED = 7
 
 
 def _workload():
@@ -50,6 +52,33 @@ def _workload():
     compiled = architecture.compiled_query()
     noise = GateNoiseModel(PauliChannel.phase_flip(EPSILON))
     return architecture, compiled, noise
+
+
+def _branching_workload():
+    """The m=3 fused-teleportation circuit: the branching micro-benchmark.
+
+    Entanglement-swapping links branch the path set mid-circuit (Bell-pair
+    ``H``) and collapse it again at the Bell measurements, so this workload
+    times exactly the doubling/contraction machinery the plain QRAM query
+    never touches.  Imported lazily: the scenario registry sits above the
+    engines and the default workload must not pay for it.
+    """
+    from repro.scenarios import get_scenario
+    from repro.scenarios.compile import compile_scenario
+
+    compiled = compile_scenario(get_scenario("htree-teleport-fused"), BRANCH_SEED)
+    noise = GateNoiseModel(PauliChannel.phase_flip(EPSILON))
+    return compiled, noise
+
+
+def _run_branching(engine_name: str, compiled, noise):
+    return get_engine(engine_name).run_noisy_shots(
+        compiled.circuit,
+        compiled.input_state,
+        noise,
+        BRANCH_SHOTS,
+        rng=ShotSeeds(seed=BRANCH_SEED),
+    )
 
 
 def _run(engine_name: str, compiled, noise, seed: int = 0):
@@ -82,6 +111,13 @@ def bench_batch_engine_noisy_m5(benchmark):
     _, compiled, noise = _workload()
     bits, _ = benchmark(_run, "feynman-batch", compiled, noise)
     assert bits.shape[0] == SHOTS * compiled.input_state.num_paths
+
+
+def bench_tape_engine_branching_m3(benchmark):
+    """Tape engine on the branching fused-teleportation workload."""
+    compiled, noise = _branching_workload()
+    bits, _ = benchmark(_run_branching, "feynman-tape", compiled, noise)
+    assert bits.shape[0] == BRANCH_SHOTS * compiled.input_state.num_paths
 
 
 def bench_tape_engine_noiseless_m6(benchmark):
@@ -127,6 +163,39 @@ def main(gate_speedup: bool = True, json_path: str | None = None) -> int:
     print(format_table(["engine", "best of 5 (ms)", "speedup"], rows))
     print(f"trajectories bit-identical (interp/tape): bits={same_bits} amps={same_amps}")
     print(f"batch matches tape under ShotSeeds: {batch_identical}")
+
+    # Branching micro-benchmark: the fused-teleportation circuit doubles and
+    # collapses the path set mid-shot, the code paths the QRAM query above
+    # never executes.  All three engines must stay bit-identical on it under
+    # ShotSeeds (hard gate), and the tape engine's lead over the interpreter
+    # must not regress (speedup gate vs the committed baseline).
+    branch_compiled, branch_noise = _branching_workload()
+    branch_timings: dict[str, float] = {}
+    branch_results: dict[str, tuple] = {}
+    for name in ("feynman-interp", "feynman-tape", "feynman-batch"):
+        _run_branching(name, branch_compiled, branch_noise)  # warm caches
+        branch_timings[name] = min(
+            _timed_branching(name, branch_compiled, branch_noise)
+            for _ in range(5)
+        )
+        branch_results[name] = _run_branching(name, branch_compiled, branch_noise)
+    branch_identical = all(
+        np.array_equal(branch_results["feynman-tape"][0], branch_results[name][0])
+        and np.array_equal(
+            branch_results["feynman-tape"][1], branch_results[name][1]
+        )
+        for name in ("feynman-interp", "feynman-batch")
+    )
+    branching_speedup = (
+        branch_timings["feynman-interp"] / branch_timings["feynman-tape"]
+    )
+    print(
+        f"branching workload ({branch_compiled.circuit.num_qubits} qubits, "
+        f"{branch_compiled.measurements} measurements, {BRANCH_SHOTS} shots): "
+        f"tape {branch_timings['feynman-tape'] * 1e3:.0f} ms, "
+        f"{branching_speedup:.2f}x over interp"
+    )
+    print(f"branching trajectories bit-identical (all engines): {branch_identical}")
     if json_path:
         payload = {
             "benchmark": "compiled_engine",
@@ -139,10 +208,13 @@ def main(gate_speedup: bool = True, json_path: str | None = None) -> int:
                 "groups": tape.num_groups,
             },
             "timings_seconds": dict(timings),
+            "branching_timings_seconds": dict(branch_timings),
             "bit_identical": bool(same_bits and same_amps),
+            "branching_bit_identical": bool(branch_identical),
             "gates": {
                 "tape_vs_interp_speedup": speedup,
                 "batch_vs_tape_speedup": batch_speedup,
+                "branching_tape_vs_interp_speedup": branching_speedup,
             },
         }
         with open(json_path, "w", encoding="utf-8") as handle:
@@ -152,6 +224,9 @@ def main(gate_speedup: bool = True, json_path: str | None = None) -> int:
     if not (same_bits and same_amps and batch_identical):
         print("FAIL: engines disagree")
         return 1
+    if not branch_identical:
+        print("FAIL: engines disagree on the branching workload")
+        return 1
     missed = []
     if speedup < 2.0:
         missed.append(f"tape engine speedup {speedup:.2f}x is below the 2x target")
@@ -159,6 +234,14 @@ def main(gate_speedup: bool = True, json_path: str | None = None) -> int:
         missed.append(
             f"batch engine speedup {batch_speedup:.2f}x over tape is below "
             "the 2x target"
+        )
+    if branching_speedup < 0.75:
+        # Measurement collapse forces per-shot execution, so tape's lead
+        # shrinks to parity on branching workloads -- but falling clearly
+        # behind the interpreter flags a regression in the doubling path.
+        missed.append(
+            f"tape engine branching speedup {branching_speedup:.2f}x over "
+            "interp is below the 0.75x parity floor"
         )
     if missed:
         if gate_speedup:
@@ -192,6 +275,12 @@ def _batch_matches_tape_under_shot_seeds(compiled, noise) -> bool:
 def _timed(name, compiled, noise) -> float:
     start = time.perf_counter()
     _run(name, compiled, noise)
+    return time.perf_counter() - start
+
+
+def _timed_branching(name, compiled, noise) -> float:
+    start = time.perf_counter()
+    _run_branching(name, compiled, noise)
     return time.perf_counter() - start
 
 

@@ -36,6 +36,34 @@ def emit_hop(circuit: QuantumCircuit, source: int, target: int) -> int:
     return cbit
 
 
+def emit_bell_pair(circuit: QuantumCircuit, a: int, b: int) -> None:
+    """Append a Bell-pair preparation ``(|00> + |11>)/sqrt(2)`` on ``(a, b)``.
+
+    Both wires must be in ``|0>``.  The ``H`` branches the path set (see
+    :mod:`repro.circuit.ir`), which is what lets the fused teleport links
+    run all their pair preparations in one constant-depth layer.
+    """
+    circuit.h(a, tags=(LINK_TAG,))
+    circuit.cx(a, b, tags=(LINK_TAG,))
+
+
+def emit_bsm_measurements(
+    circuit: QuantumCircuit, a: int, b: int
+) -> tuple[int, int]:
+    """Append the measurement half of a Bell-state measurement on ``(a, b)``.
+
+    The BSM's ``CX a->b`` must already have been emitted (the fused links
+    batch all BSM CXs into one layer); this records the X-basis outcome of
+    ``a`` and the Z-basis outcome of ``b`` and returns their cbits
+    ``(x, z)``.  Conditioned on ``(x, z)`` the teleported payload carries
+    the Pauli ``X**z Z**x``, undone exactly by a ``CPAULI X`` on ``z``
+    followed by a ``CPAULI Z`` on ``x``.
+    """
+    x = circuit.measure(a, basis="X", tags=(LINK_TAG,))
+    z = circuit.measure(b, basis="Z", tags=(LINK_TAG,))
+    return x, z
+
+
 def emit_disentangle(circuit: QuantumCircuit, vertex: int, control: int) -> int:
     """Uncompute a CX-ladder copy on ``vertex``; return the cbit.
 

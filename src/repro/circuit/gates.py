@@ -202,9 +202,17 @@ CLIFFORD_GATES: frozenset[str] = frozenset(
 #: and ``CPAULI`` qualify too: once the measurement outcome is sampled, the
 #: projection is a per-path bit/phase update (X basis) or an amplitude mask
 #: (Z basis), and the frame correction is an outcome-conditioned Pauli.
+#: ``H`` is the sole *branching* member of the set: each application doubles
+#: the path count (up to the budget of
+#: :func:`repro.circuit.ir.get_max_branches`), and later ``Z``-basis
+#: measurements collapse branches again -- see the "Path branching" notes in
+#: :mod:`repro.circuit.ir`.
 PATH_SIMULABLE_GATES: frozenset[str] = REVERSIBLE_CLASSICAL_GATES | frozenset(
-    {"Y", "Z", "CZ", "S", "SDG", "T", "TDG", "MEASURE", "CPAULI"}
+    {"Y", "Z", "CZ", "S", "SDG", "T", "TDG", "H", "MEASURE", "CPAULI"}
 )
+
+#: Members of :data:`PATH_SIMULABLE_GATES` that branch the path set.
+BRANCHING_GATES: frozenset[str] = frozenset({"H"})
 
 #: Instructions that are not unitary operations on the quantum state.
 NON_UNITARY_GATES: frozenset[str] = frozenset(

@@ -30,6 +30,24 @@ one uniform variate of the shot's random stream -- drawn *before* the shot's
 noise-site codes -- which is what keeps seeded trajectories of measured
 circuits bit-identical across engines and across any sweep sharding.
 
+Path branching (``H``)
+----------------------
+A mid-circuit Hadamard is the one gate the Feynman engines execute by
+*doubling* the path set: ``H|b> = (|0> + (-1)**b |1>) / sqrt(2)`` splits
+every path into two amplitude-weighted branches.  The compiler tags every
+tape position with its **branch level** (:attr:`GateTape.branch_levels`, the
+base-2 logarithm of the path multiplier after the group) and pre-computes a
+deterministic **collapse plan** (:attr:`GateTape.collapse_strides`): for each
+``Z``-basis measurement it decides statically -- from exact GF(2) tracking of
+every branch axis's bit-difference vector -- whether the true-marginal
+projection annihilates exactly one branch of some axis, in which case every
+engine contracts that axis and the path set halves again.  Because the plan
+is a pure function of the instruction sequence, all engines collapse
+identically and the result is invariant under any sweep sharding.  Circuits
+whose branch level would exceed the configurable budget
+(:func:`get_max_branches`) raise the typed :class:`BranchBudgetError` before
+any shot executes.
+
 The tape is cached on the circuit (``circuit._tape``) and invalidated by
 :meth:`QuantumCircuit.append`; as a second line of defence the cache is also
 dropped when the instruction count changed (catching direct appends to
@@ -103,6 +121,42 @@ GATE_OPCODES: dict[str, int] = {
 
 #: Opcode -> gate name (debugging / error messages).
 OPCODE_NAMES: dict[int, str] = {op: name for name, op in GATE_OPCODES.items()}
+
+
+# ------------------------------------------------------------- branch budget
+class BranchBudgetError(ValueError):
+    """A circuit's path-branching level exceeds the configured budget.
+
+    Every mid-circuit ``H`` doubles the Feynman path set until a later
+    measurement collapses the branch, so unbounded branching would defeat
+    the whole point of path-sum simulation.  The budget caps the number of
+    *concurrently live* branch axes; see :func:`set_max_branches`.
+    """
+
+
+#: Default cap on concurrently live branch axes (path multiplier 2**budget).
+DEFAULT_MAX_BRANCHES = 10
+
+_MAX_BRANCHES = DEFAULT_MAX_BRANCHES
+
+
+def get_max_branches() -> int:
+    """Current branch budget: the maximum concurrently live branch level."""
+    return _MAX_BRANCHES
+
+
+def set_max_branches(budget: int) -> None:
+    """Globally set the branch budget (``DEFAULT_MAX_BRANCHES`` initially).
+
+    Raises
+    ------
+    ValueError
+        If ``budget`` is negative.
+    """
+    global _MAX_BRANCHES
+    if budget < 0:
+        raise ValueError("the branch budget cannot be negative")
+    _MAX_BRANCHES = budget
 
 # ---------------------------------------------------------------- phase tables
 #: ``i ** k`` for ``k`` in 0..3: the phase a run of ``S`` gates (or ``Y``
@@ -309,6 +363,18 @@ class GateTape:
     #: entry, drawn before any noise-site randomness of the same shot).
     measurements: tuple[tuple[int, str], ...] = ()
     num_clbits: int = 0
+    #: Branch level *after* each group: log2 of the path multiplier relative
+    #: to the input path count.  Level rises by one per fused ``H`` and falls
+    #: by one at every measurement group with a non-zero collapse stride.
+    branch_levels: tuple[int, ...] = ()
+    #: Per-group collapse plan: ``0`` everywhere except at ``Z``-basis
+    #: measurement groups whose projection provably annihilates one branch of
+    #: a live axis, where it holds that axis's pair stride (a power of two,
+    #: in units of the *input* path count).  Engines contract the tagged axis
+    #: right after applying the measurement.
+    collapse_strides: tuple[int, ...] = ()
+    #: Peak of :attr:`branch_levels` (0 for branch-free circuits).
+    max_branch_level: int = 0
     _site_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
@@ -325,6 +391,25 @@ class GateTape:
     def num_measurements(self) -> int:
         """Number of mid-circuit measurements on the tape."""
         return len(self.measurements)
+
+    def require_branch_budget(self, budget: int | None = None) -> None:
+        """Raise :class:`BranchBudgetError` if the tape exceeds ``budget``.
+
+        ``None`` checks against the global budget
+        (:func:`get_max_branches`).  Engines call this before executing a
+        single shot, and the scenario compiler calls it when expanding
+        fused teleportation links, so the typed error surfaces before any
+        randomness is consumed.
+        """
+        limit = get_max_branches() if budget is None else budget
+        if self.max_branch_level > limit:
+            raise BranchBudgetError(
+                f"circuit reaches branch level {self.max_branch_level} "
+                f"(path multiplier {2 ** self.max_branch_level}) but the "
+                f"branch budget is {limit}; raise it with "
+                "repro.circuit.ir.set_max_branches or restructure the "
+                "circuit so measurements collapse branches earlier"
+            )
 
     def noise_sites(self, noise: "NoiseModel") -> NoiseSiteTable:
         """Memoized :class:`NoiseSiteTable` for ``noise``.
@@ -411,6 +496,109 @@ class GateTape:
         return later
 
 
+class _BranchTracker:
+    """Exact static tracking of live branch axes during tape compilation.
+
+    Every mid-circuit ``H`` opens one **branch axis**: path ``j`` splits
+    into ``2 j + b`` (the newest axis is always the innermost stride-1
+    pairing; every older axis's stride doubles).  For each axis the tracker
+    maintains the GF(2) *bit-difference vector* between branch partners --
+    the set of qubits whose bits differ inside every partner pair -- which
+    evolves linearly and shot-independently under the path-simulable gate
+    set: full-shot Pauli noise, frame corrections and uniform bit flips
+    never change it, ``CX`` XORs the control's difference into the target,
+    ``SWAP`` permutes entries.  A nonlinear gate (``CCX``/``CSWAP``/``MCX``)
+    whose value-dependent update would touch a differing qubit marks that
+    axis *opaque* (difference unknown, never collapsible).
+
+    A ``Z``-basis measurement of a qubit that differs along a live
+    non-opaque axis annihilates exactly one partner of every pair of that
+    axis, for every shot -- so the compiler schedules a deterministic
+    contraction of the innermost such axis (recorded as the group's collapse
+    stride) and the path multiplier halves again.  Because the schedule is a
+    pure function of the instruction sequence, every engine collapses
+    identically and sharded sweeps stay bit-identical.
+    """
+
+    def __init__(self) -> None:
+        #: Oldest-first difference vectors; ``None`` marks an opaque axis.
+        self.axes: list[set[int] | None] = []
+
+    @property
+    def level(self) -> int:
+        """Number of live branch axes (log2 of the path multiplier)."""
+        return len(self.axes)
+
+    def _opacify(self, qubits: Sequence[int]) -> None:
+        touched = set(qubits)
+        for index, diff in enumerate(self.axes):
+            if diff is not None and diff & touched:
+                self.axes[index] = None
+
+    def apply(self, instr: Instruction) -> None:
+        """Advance the tracker over one (non-measurement) instruction."""
+        gate = instr.gate
+        q = instr.qubits
+        if gate == "H":
+            for diff in self.axes:
+                if diff is not None:
+                    diff.discard(q[0])
+            self.axes.append({q[0]})
+        elif gate == "CX":
+            for diff in self.axes:
+                if diff is not None and q[0] in diff:
+                    diff.symmetric_difference_update((q[1],))
+        elif gate == "SWAP":
+            for diff in self.axes:
+                if diff is not None:
+                    a, b = q[0] in diff, q[1] in diff
+                    if a != b:
+                        diff.symmetric_difference_update(q)
+        elif gate == "CCX":
+            self._opacify(q[:2])
+        elif gate == "MCX":
+            self._opacify(q[:-1])
+        elif gate == "CSWAP":
+            control, a, b = q
+            for index, diff in enumerate(self.axes):
+                if diff is None:
+                    continue
+                if control in diff or ((a in diff) != (b in diff)):
+                    self.axes[index] = None
+        # Every other path-simulable gate is diagonal or a uniform bit flip
+        # (X/Y/Z/S/SDG/T/TDG/CZ/I, CPAULI): partner differences unchanged.
+
+    def measure(self, qubit: int, basis: str) -> int:
+        """Advance over a measurement; returns the collapse stride (0: none).
+
+        An ``X``-basis measurement overwrites the measured column with the
+        sampled outcome, so the qubit stops differing along every live axis
+        but no axis is contracted.  A ``Z``-basis measurement contracts the
+        innermost non-opaque axis whose partners differ at ``qubit``; every
+        other live axis still differing there absorbs the contracted axis's
+        difference vector (the surviving partner depends on its branch bit).
+        """
+        if basis == "X":
+            for diff in self.axes:
+                if diff is not None:
+                    diff.discard(qubit)
+            return 0
+        chosen = -1
+        for index in range(len(self.axes) - 1, -1, -1):
+            diff = self.axes[index]
+            if diff is not None and qubit in diff:
+                chosen = index
+                break
+        if chosen < 0:
+            return 0
+        stride = 2 ** (len(self.axes) - 1 - chosen)
+        contracted = self.axes.pop(chosen)
+        for diff in self.axes:
+            if diff is not None and qubit in diff:
+                diff.symmetric_difference_update(contracted)
+        return stride
+
+
 def _flush(
     groups: list[TapeGroup], opcode: int | None, rows: list[Sequence[int]]
 ) -> None:
@@ -446,6 +634,9 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
     unsupported: list[str] = []
     measurements: list[tuple[int, str]] = []
     num_clbits = 0
+    tracker = _BranchTracker()
+    gate_levels: list[int] = []
+    collapse_by_group: dict[int, int] = {}
 
     current_opcode: int | None = None
     current_arity = -1
@@ -476,6 +667,9 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
                 )
             )
             if opcode == OP_MEASURE:
+                stride = tracker.measure(instr.qubits[0], instr.basis)
+                if stride:
+                    collapse_by_group[len(groups) - 1] = stride
                 measurements.append((instr.cbit, instr.basis))
                 num_clbits = max(num_clbits, instr.cbit + 1)
             else:
@@ -484,6 +678,7 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
                 num_clbits = max(
                     num_clbits, max(instr.condition_bits, default=-1) + 1
                 )
+            gate_levels.append(tracker.level)
             continue
         operands = instr.qubits
         fits = (
@@ -501,7 +696,15 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
         current_qubits.update(operands)
         gates.append(instr)
         gate_group.append(len(groups))
+        tracker.apply(instr)
+        gate_levels.append(tracker.level)
     _flush(groups, current_opcode, current_rows)
+
+    group_levels = [0] * len(groups)
+    for gate_index, level in enumerate(gate_levels):
+        # Gates of a group are consecutive, so the last write per group is
+        # the level after the group's final gate.
+        group_levels[gate_group[gate_index]] = level
 
     tape = GateTape(
         num_qubits=circuit.num_qubits,
@@ -512,6 +715,11 @@ def compile_circuit(circuit: "QuantumCircuit") -> GateTape:
         source_length=len(circuit.instructions),
         measurements=tuple(measurements),
         num_clbits=num_clbits,
+        branch_levels=tuple(group_levels),
+        collapse_strides=tuple(
+            collapse_by_group.get(index, 0) for index in range(len(groups))
+        ),
+        max_branch_level=max(gate_levels, default=0),
     )
     circuit._tape = tape
     return tape

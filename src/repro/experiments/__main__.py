@@ -263,17 +263,23 @@ def run_scenarios(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    from repro.circuit.ir import BranchBudgetError
+
     # Neither flag: cache iff $REPRO_CACHE_DIR is set (see repro.cache.store).
     cache = True if args.cache else (False if args.no_cache else None)
     for name in args.names:
-        records = run_scenario(
-            name,
-            shots=args.shots,
-            seed=args.seed,
-            workers=args.workers,
-            shard_size=args.shard_size,
-            cache=cache,
-        )
+        try:
+            records = run_scenario(
+                name,
+                shots=args.shots,
+                seed=args.seed,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                cache=cache,
+            )
+        except BranchBudgetError as exc:
+            print(f"error: branch budget exceeded: {exc}", file=sys.stderr)
+            return 2
         print(scenario_report(name, records))
         if args.out:
             paths = export_experiment(records, args.out, f"scenario_{name}")

@@ -24,11 +24,15 @@ ASPLOS 2019) to this codebase's gate set:
   score of further SWAPs on the same physical qubits, spreading movement
   across the device and breaking the back-and-forth cycles a pure distance
   heuristic falls into.
-* **Forward/backward/forward layout selection.**  When no initial layout is
-  given, the circuit is routed forward from the identity layout, then its
-  reverse is routed from the resulting final layout, and the layout that
+* **Forward/backward/forward layout selection.**  The circuit is routed
+  forward from the seed layout (the identity when none is given, the
+  caller's placement -- e.g. the H-tree cluster layout -- otherwise), then
+  its reverse is routed from the resulting final layout, and the layout that
   falls out seeds the real forward pass -- so frequently-interacting logical
-  qubits start out physically adjacent, replacing the blind identity layout.
+  qubits start out physically adjacent instead of wherever the seed left
+  them.  A provided layout is a starting point to refine, not a contract:
+  the selection passes move qubits along coupling edges only, so an H-tree
+  cluster placement is improved within the tree's own geometry.
 
 Multi-qubit gates (``CCX``/``CSWAP``/``MCX``) generalise SABRE's two-qubit
 distance via the minimum-spanning-tree weight of the operands under the
@@ -88,6 +92,12 @@ class LookaheadSwapRouter:
         Heuristic SWAPs tolerated without executing any gate before falling
         back to greedy shortest-path resolution of the oldest front gate
         (termination guarantee).  ``None`` derives ``4 * num_qubits + 8``.
+    refine_layout:
+        When True (default) the forward/backward layout-selection passes
+        also run on a caller-provided ``initial_layout``, treating it as a
+        seed to improve (the H-tree cluster placements benefit).  ``False``
+        routes from the provided layout verbatim -- the pre-fix behaviour,
+        kept for callers that pin a layout deliberately.
     """
 
     name: ClassVar[str] = "lookahead"
@@ -98,6 +108,7 @@ class LookaheadSwapRouter:
     decay_increment: float = 0.001
     decay_reset_interval: int = 5
     max_stalled_swaps: int | None = None
+    refine_layout: bool = True
     _graph: nx.Graph = field(init=False, repr=False)
     _dist: np.ndarray = field(init=False, repr=False)
     _adjacency: list[frozenset[int]] = field(init=False, repr=False)
@@ -123,10 +134,15 @@ class LookaheadSwapRouter:
     ) -> RoutedCircuit:
         """Insert SWAPs so every gate acts on a connected patch of the device.
 
-        With ``initial_layout`` given (e.g. the H-tree cluster placement) a
-        single forward pass routes from it; with ``None`` the
-        forward/backward layout-selection passes run first and the layout
-        they converge on replaces the identity default.
+        The forward/backward layout-selection passes always run first: with
+        ``initial_layout`` equal to ``None`` they start from the identity
+        layout, and with a layout given (e.g. the H-tree cluster placement)
+        they start from *it* -- refining the placement inside and between
+        clusters instead of taking the seed verbatim.  Virtual SWAPs during
+        selection follow the device coupling map, so a cluster layout is
+        refined along exactly the moves routing could make anyway, and the
+        refined layout is what :attr:`RoutedCircuit.initial_layout` reports
+        (input states embed through it, so correctness is unaffected).
         """
         if circuit.num_qubits > self.device.num_qubits:
             raise ValueError(
@@ -135,11 +151,14 @@ class LookaheadSwapRouter:
             )
         if initial_layout is None:
             layout = {q: q for q in range(circuit.num_qubits)}
-            forward = list(circuit.instructions)
-            layout = self._route_pass(forward, layout, record=False)
-            initial_layout = self._route_pass(forward[::-1], layout, record=False)
         else:
             check_layout(circuit, initial_layout, self.device)
+            layout = dict(initial_layout)
+        if initial_layout is None or self.refine_layout:
+            forward = list(circuit.instructions)
+            layout = self._route_pass(forward, layout, record=False)
+            layout = self._route_pass(forward[::-1], layout, record=False)
+        initial_layout = layout
 
         routed = QuantumCircuit(
             num_qubits=self.device.num_qubits, metadata=dict(circuit.metadata)

@@ -56,7 +56,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.feedforward import LINK_TAG, emit_disentangle, emit_hop
+from repro.circuit.feedforward import (
+    LINK_TAG,
+    emit_bell_pair,
+    emit_bsm_measurements,
+    emit_disentangle,
+    emit_hop,
+)
 from repro.circuit.instruction import Instruction
 from repro.mapping.device import HTreeDevice, htree_device
 from repro.mapping.grid import Grid2D
@@ -104,6 +110,9 @@ class TeleportExpansion:
     remote_gates: int
     link_operations: int
     measurements: int
+    #: True when payload moves use constant-depth entanglement swapping
+    #: (Bell pairs + Bell-state measurements) instead of sequential hops.
+    fused: bool = False
 
     def map_state(self, state: PathState) -> PathState:
         """Zero-extend a logical :class:`PathState` over the routing vertices.
@@ -127,8 +136,11 @@ class TeleportExpansion:
 class _Expander:
     """Single-pass expansion state: the output circuit plus counters."""
 
-    def __init__(self, layout: HTreeDevice, source: QuantumCircuit) -> None:
+    def __init__(
+        self, layout: HTreeDevice, source: QuantumCircuit, *, fused: bool = False
+    ) -> None:
         self.layout = layout
+        self.fused = fused
         # Logical registers stay valid: logical qubits keep their indices on
         # the device, routing-chain vertices are appended after them.
         self.out = QuantumCircuit(
@@ -162,9 +174,65 @@ class _Expander:
 
     def _move(self, source: int, chain: tuple[int, ...], target: int) -> None:
         """Teleport a payload along ``chain`` from ``source`` into ``target``."""
+        if self.fused:
+            self._fused_move(source, chain, target)
+            return
         stops = [source, *chain, target]
         for a, b in zip(stops, stops[1:]):
             self._hop(a, b)
+
+    def _fused_move(self, source: int, chain: tuple[int, ...], target: int) -> None:
+        """Constant-depth payload move: entanglement swapping over ``chain``.
+
+        The chain wires plus the target pair up into Bell pairs, prepared in
+        one layer (each ``H`` branches the path set, see
+        :mod:`repro.circuit.ir`), then one layer of Bell-state-measurement
+        CXs stitches payload and pairs together; every BSM's ``Z``-basis
+        measurement collapses its pair's branch, so the link leaves the
+        branch level where it found it.  Depth is constant in the chain
+        length -- an ``H`` layer, two CX layers and the measurements --
+        where the sequential hop chain needs one CX layer per hop; the
+        classical frame corrections are free either way.
+
+        With an odd wire count (even chain length) one plain hop brings the
+        payload onto the first chain vertex and the remaining even run
+        teleports fused; the hop CX sits in the Bell layer, so depth stays
+        constant.
+
+        Exactness of the frame: stage ``i``'s BSM outcomes ``(x_i, z_i)``
+        leave the payload carrying ``X**z_i Z**x_i``, composed outermost
+        stage last, so the corrections are emitted per stage in reverse
+        order -- ``CPAULI X`` on ``z_i`` then ``CPAULI Z`` on ``x_i``.
+        XOR-merging the cbits instead would drop a ``(-1)**(x z)`` global
+        phase per stage, which the amplitude-level engine tests would see.
+        """
+        wires = [*chain, target]
+        if len(wires) % 2 == 1:
+            self._hop(source, wires[0])
+            source = wires[0]
+            wires = wires[1:]
+        if not wires:
+            return
+        pairs = [(wires[i], wires[i + 1]) for i in range(0, len(wires), 2)]
+        for a, b in pairs:
+            emit_bell_pair(self.out, a, b)
+            self.link_operations += 1
+        bsm_pairs = [(source, wires[0])] + [
+            (wires[2 * i - 1], wires[2 * i]) for i in range(1, len(pairs))
+        ]
+        for a, b in bsm_pairs:
+            self._link_cx(a, b)
+        records = []
+        for a, b in bsm_pairs:
+            x, z = emit_bsm_measurements(self.out, a, b)
+            self.measurements += 2
+            records.append((a, b, x, z))
+        for _, _, x, z in reversed(records):
+            self.out.cpauli("X", target, [z], tags=(LINK_TAG,))
+            self.out.cpauli("Z", target, [x], tags=(LINK_TAG,))
+        for a, b, x, z in records:
+            self.out.cpauli("X", a, [x], tags=(LINK_TAG,))
+            self.out.cpauli("X", b, [z], tags=(LINK_TAG,))
 
     # ------------------------------------------------------------ gate shapes
     def ladder_cx(self, instr: Instruction, chain: tuple[int, ...]) -> None:
@@ -215,6 +283,7 @@ def expand_teleport_links(
     *,
     calibration=None,
     name: str | None = None,
+    fused: bool = False,
 ) -> TeleportExpansion:
     """Expand every remote gate of ``circuit`` into executed teleport links.
 
@@ -230,10 +299,20 @@ def expand_teleport_links(
     noise instead of an analytic multiplier, measurement outcomes come from
     each shot's seeded stream, and Pauli-frame corrections are free (and
     noise-free), mirroring hardware Pauli-frame tracking.
+
+    With ``fused=True`` every payload move (``move:<k>`` SWAPs and bounce
+    round-trips) executes as a constant-depth entanglement-swapping link --
+    Bell pairs over the chain prepared in one layer, a layer of Bell-state
+    measurements, and exact per-stage frame corrections (see
+    :meth:`_Expander._fused_move`) -- instead of a depth-``d`` hop chain.
+    The Bell-pair ``H`` gates branch the path set, so fused expansions
+    require the bounded-branching engine support of :mod:`repro.sim.engine`
+    and are subject to the branch budget of
+    :func:`repro.circuit.ir.get_max_branches`.
     """
     positions = embedding.logical_positions(circuit)
     layout = htree_device(embedding, circuit, calibration=calibration, name=name)
-    expander = _Expander(layout, circuit)
+    expander = _Expander(layout, circuit, fused=fused)
     out = expander.out
 
     for instr in circuit.instructions:
@@ -319,4 +398,5 @@ def expand_teleport_links(
         remote_gates=expander.remote_gates,
         link_operations=expander.link_operations,
         measurements=expander.measurements,
+        fused=fused,
     )

@@ -23,6 +23,16 @@ Three families, all registered at import time:
   schedule-aware idle noise, exposing the depth cost the analytic
   constant-depth model hides.
 
+* **Fused-link ablation** (``htree-teleport-fused`` /
+  ``htree-teleport-fused-idle``): the executed workload with every payload
+  hop chain replaced by one constant-depth entanglement-swapping link (Bell
+  pairs prepared in a single mid-circuit-``H`` layer, one layer of
+  Bell-state measurements, exact per-stage frame corrections).  At zero
+  noise it reproduces the logical output exactly like the hop chains; under
+  schedule-aware idle dephasing the constant link depth must beat
+  ``htree-teleport-executed-idle`` -- the comparison the branching engine
+  support exists to make.
+
 * **Device studies** (``perth-m1`` / ``guadalupe-m2``): the Figure 12
   methodology as sweepable scenarios -- route onto the named backend, sweep
   the error-reduction factor.
@@ -92,6 +102,29 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         qram_width=3,
         mapping="htree",
         routing="teleport-executed",
+        idle_error=None,
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-teleport-fused",
+        description=(
+            "executed teleport links fused into constant-depth "
+            "entanglement-swapping (Bell pairs + BSMs, branched paths)"
+        ),
+        qram_width=3,
+        mapping="htree",
+        routing="teleport-fused",
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-teleport-fused-idle",
+        description=(
+            "fused teleport links plus schedule-aware idle dephasing "
+            "(constant link depth pays less idle cost than hop chains)"
+        ),
+        qram_width=3,
+        mapping="htree",
+        routing="teleport-fused",
         idle_error=None,
         error_reduction_factors=_SWEEP,
     ),

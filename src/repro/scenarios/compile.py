@@ -40,6 +40,16 @@ Mapping strategies
     reproduces the logical ideal output exactly -- the convergence the
     executed-vs-analytic ablation tests pin down.
 
+``htree`` + ``teleport-fused``
+    Like ``teleport-executed``, but every payload hop chain becomes one
+    constant-depth entanglement-swapping link: Bell pairs over the routing
+    chain prepared in a single layer (mid-circuit ``H``, branching the path
+    set), one layer of Bell-state-measurement CXs, and exact per-stage
+    Pauli-frame corrections.  The shorter schedule accrues less idle noise
+    than the hop chains at comparable link-gate counts; circuits whose
+    simultaneous Bell pairs exceed the branch budget raise
+    :class:`repro.circuit.ir.BranchBudgetError` at compile time.
+
 ``device``
     Route onto a named sparse backend -- the Figure 12 methodology, now
     composable with idle noise and sweeps.
@@ -57,6 +67,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.ir import compile_circuit
 from repro.circuit.scheduling import circuit_depth
 from repro.experiments.common import random_memory
 from repro.hardware.devices import DEVICES, DeviceModel, grid_device
@@ -268,9 +279,20 @@ def _compile_resolved(spec: ScenarioSpec, seed: int) -> CompiledScenario:
             logical_depth=logical_depth,
         )
 
-    if spec.mapping == "htree" and spec.routing == "teleport-executed":
+    if spec.mapping == "htree" and spec.routing in (
+        "teleport-executed",
+        "teleport-fused",
+    ):
         embedding = HTreeEmbedding(tree_depth=spec.qram_width)
-        expansion = expand_teleport_links(logical, embedding, calibration=calibration)
+        expansion = expand_teleport_links(
+            logical,
+            embedding,
+            calibration=calibration,
+            fused=spec.routing == "teleport-fused",
+        )
+        # Fused links branch the path set; surface an over-budget circuit
+        # here, at compile time, instead of deep inside a sweep worker.
+        compile_circuit(expansion.circuit).require_branch_budget()
         return CompiledScenario(
             spec=spec,
             seed=seed,

@@ -16,7 +16,12 @@ from dataclasses import dataclass, replace
 
 ARCHITECTURES: tuple[str, ...] = ("virtual", "bucket-brigade", "fanout")
 MAPPINGS: tuple[str, ...] = ("none", "htree", "device")
-ROUTINGS: tuple[str, ...] = ("swap", "teleport", "teleport-executed")
+ROUTINGS: tuple[str, ...] = (
+    "swap",
+    "teleport",
+    "teleport-executed",
+    "teleport-fused",
+)
 
 
 @dataclass(frozen=True)
@@ -46,8 +51,13 @@ class ScenarioSpec:
         real -- entanglement-link CX hops over the routing-chain vertices,
         mid-circuit measurements and Pauli-frame feedforward (see
         :mod:`repro.mapping.teleport`), with link noise arising from the hop
-        gates' own error channels.  ``mapping="device"`` always swap-routes;
-        ``mapping="none"`` ignores this field.
+        gates' own error channels.  ``"teleport-fused"`` also executes the
+        links but replaces every sequential hop chain with a constant-depth
+        entanglement-swapping link (Bell pairs + Bell-state measurements),
+        which branches the path set through the bounded-``H`` support of the
+        Feynman engines and is subject to the branch budget of
+        :func:`repro.circuit.ir.get_max_branches`.  ``mapping="device"``
+        always swap-routes; ``mapping="none"`` ignores this field.
     router:
         Which registered router resolves blocked gates (see
         :mod:`repro.hardware.router`): ``"greedy-swap"``, ``"lookahead"``

@@ -35,6 +35,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.cache.fingerprint import CACHE_SCHEMA_VERSION, canonical_spec
 from repro.cache.store import ResultCache, resolve_cache
+from repro.circuit.ir import BranchBudgetError
+from repro.scenarios.compile import compile_scenario
 from repro.scenarios.run import resolve_run
 from repro.scenarios.spec import available_scenarios, get_scenario
 from repro.server.jobs import JobTable, JobWorker
@@ -205,6 +207,15 @@ class ScenarioService:
                 "unknown_scenario",
                 f"no scenario {name!r}; GET {API_PREFIX}/scenarios lists them",
             )
+        # Pre-flight the compile so a circuit whose path branching exceeds
+        # the budget is rejected at submit time with a typed slug instead of
+        # queueing a job that can only fail.  compile_scenario is memoised
+        # per process, so repeat submissions (and the health of hot paths)
+        # pay nothing.
+        try:
+            compile_scenario(spec, seed)
+        except BranchBudgetError as exc:
+            return 400, error_envelope("branch_budget_exceeded", str(exc))
         cached = fingerprint in self.cache
         job = self.jobs.create(
             spec,

@@ -24,6 +24,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from repro.cache.store import ResultCache
+from repro.circuit.ir import BranchBudgetError
 from repro.scenarios.run import run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -165,6 +166,13 @@ class JobWorker:
                     workers=self.workers,
                     shard_size=self.shard_size,
                     cache=self.cache,
+                )
+            except BranchBudgetError as exc:
+                # Run-time budget overruns (e.g. a runtime-registered spec
+                # that dodged the submit-time pre-flight) carry the same
+                # typed slug the synchronous API paths use.
+                self.table.set_status(
+                    job.id, "error", error=f"branch_budget_exceeded: {exc}"
                 )
             except Exception as exc:  # surface, never kill the worker
                 self.table.set_status(

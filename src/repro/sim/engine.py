@@ -91,6 +91,22 @@ trajectories of measured circuits stay bit-identical across engines and
 across any ``(workers, shard_size)`` sweep split; circuits without
 measurements consume exactly the pre-measurement streams, preserving every
 committed artefact bit for bit.
+
+Bounded path branching (``H``)
+------------------------------
+Mid-circuit Hadamards execute by **doubling the path set**: every path
+splits into an amplitude-weighted pair (``1/sqrt(2)`` each, sign flipped on
+the upper branch when the pre-branch bit was 1), with the newest branch
+always the innermost stride-1 pairing.  The per-shot path count is therefore
+dynamic: ``n_paths`` rises by a factor of two per ``H`` (bounded by the
+typed budget of :func:`repro.circuit.ir.get_max_branches`, enforced before
+any shot executes) and falls again at ``Z``-basis measurements whose
+compile-time collapse plan (:attr:`~repro.circuit.ir.GateTape.collapse_strides`)
+proves the true-marginal projection annihilates exactly one branch of a live
+axis -- the engines then contract that axis by gathering the surviving
+partner of every pair.  Branching consumes **no randomness** of its own, so
+the random-stream contract above is untouched: branch-free circuits execute
+exactly as before, bit for bit.
 """
 
 from __future__ import annotations
@@ -106,6 +122,7 @@ from repro.circuit.ir import (
     OP_CSWAP,
     OP_CX,
     OP_CZ,
+    OP_H,
     OP_MCX,
     OP_MEASURE,
     OP_NOP,
@@ -124,7 +141,9 @@ from repro.circuit.ir import (
     compile_circuit,
 )
 from repro.sim.feynman_kernels import (
+    INV_SQRT2,
     UnsupportedGateError,
+    apply_hadamard,
     apply_instruction,
     apply_masked_pauli,
 )
@@ -154,14 +173,17 @@ def _apply_measure(
     basis: str,
     uniforms: np.ndarray,
     n_paths: int,
-) -> np.ndarray:
+) -> tuple[np.ndarray, np.ndarray | None]:
     """Measure one qubit across a stacked shot block, in place.
 
     ``column`` is the measured qubit's boolean values as a writable 1-D view
     of length ``shots * n_paths`` (a ``bits_q`` row for the tape engine, a
     ``bits`` column for the interpreted one); ``uniforms`` holds one
-    pre-drawn variate per shot.  Returns the sampled outcomes, shape
-    ``(shots,)`` int8.  See the module docstring for the projection rules.
+    pre-drawn variate per shot.  Returns ``(outcomes, keep)``: the sampled
+    outcomes (shape ``(shots,)`` int8) and, for ``Z``-basis measurements,
+    the ``(shots, n_paths)`` mask of paths that survived the projection
+    (``None`` in the X basis) -- the input to a scheduled branch collapse.
+    See the module docstring for the projection rules.
     """
     shots = uniforms.shape[0]
     bitmat = column.reshape(shots, n_paths)
@@ -174,7 +196,7 @@ def _apply_measure(
         if np.any(flip):
             amps[flip] *= -1.0
         column[:] = chosen
-        return outcomes
+        return outcomes, None
     weights = (np.abs(amps) ** 2).reshape(shots, n_paths)
     total = weights.sum(axis=1)
     w1 = np.where(bitmat, weights, 0.0).sum(axis=1)
@@ -189,7 +211,95 @@ def _apply_measure(
     keep = bitmat == (outcomes[:, None] != 0)
     amps *= (keep * scale[:, None]).reshape(-1)
     column[:] = np.repeat(outcomes.astype(bool), n_paths)
-    return outcomes
+    return outcomes, keep
+
+
+def _branch_hadamard_group(
+    bits_q: np.ndarray, amps: np.ndarray, qs: np.ndarray, n_paths: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Apply a fused ``H`` group to a qubit-major block, doubling per gate.
+
+    Column ``j`` splits into ``2 j`` (bit cleared) and ``2 j + 1`` (bit set,
+    sign flipped when the pre-branch bit was 1), each weighted by
+    ``1/sqrt(2)`` -- the same operation order as the row-major
+    :func:`~repro.sim.feynman_kernels.apply_hadamard`, so all engines stay
+    bit-identical.  Returns the new ``(bits_q, amps, n_paths)``.
+    """
+    for row in range(qs.shape[0]):
+        q = int(qs[row, 0])
+        old = bits_q[q].copy()
+        bits_q = np.repeat(bits_q, 2, axis=1)
+        amps = np.repeat(amps, 2)
+        amps *= INV_SQRT2
+        upper = amps[1::2]
+        upper[old] *= -1.0
+        bits_q[q, 0::2] = False
+        bits_q[q, 1::2] = True
+        n_paths *= 2
+    return bits_q, amps, n_paths
+
+
+def _branch_grouped_block(
+    bits_q: np.ndarray,
+    amps: np.ndarray,
+    zparity: np.ndarray | None,
+    qs: np.ndarray,
+    n_paths: int,
+    n_slots: int,
+    active: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, int]:
+    """Branch the pattern-grouped slot block through one fused ``H`` group.
+
+    The block is reallocated at twice the per-slot width: each active slot's
+    ``n_paths`` columns repeat into ``2 n_paths`` columns in place (old column
+    ``j`` of slot ``s`` becomes columns ``2 j`` / ``2 j + 1`` of the same
+    slot), using the exact operation order of :func:`_branch_hadamard_group`
+    so grouped execution stays IEEE bit-identical to the stacked path.
+    Folded pure-``Z`` parity rows repeat alongside: sign flips recorded
+    before the branch are inherited by both children, exactly as if the
+    flip had been applied at its own site.
+    """
+    for row in range(qs.shape[0]):
+        q = int(qs[row, 0])
+        width = active * n_paths
+        old = bits_q[q, :width].copy()
+        new_bits = np.empty((bits_q.shape[0], n_slots * n_paths * 2), dtype=bool)
+        new_bits[:, : 2 * width] = np.repeat(bits_q[:, :width], 2, axis=1)
+        new_amps = np.empty(n_slots * n_paths * 2, dtype=complex)
+        new_amps[: 2 * width] = np.repeat(amps[:width], 2)
+        new_amps[: 2 * width] *= INV_SQRT2
+        upper = new_amps[1 : 2 * width : 2]
+        upper[old] *= -1.0
+        new_bits[q, 0 : 2 * width : 2] = False
+        new_bits[q, 1 : 2 * width : 2] = True
+        bits_q = new_bits
+        amps = new_amps
+        n_paths *= 2
+        if zparity is not None:
+            zparity = np.repeat(zparity, 2, axis=1)
+    return bits_q, amps, zparity, n_paths
+
+
+def _collapse_flat_indices(
+    keep: np.ndarray, shots: int, n_paths: int, stride: int
+) -> np.ndarray:
+    """Flat survivor indices contracting one scheduled branch axis.
+
+    ``keep`` is the ``(shots, n_paths)`` survival mask of a ``Z``-basis
+    measurement whose compile-time plan proved that along the stride-
+    ``stride`` pairing exactly one partner of every pair survives.  The
+    returned index array (length ``shots * n_paths // 2``) gathers each
+    pair's survivor in natural order, halving the per-shot path count.
+    """
+    outer = n_paths // (2 * stride)
+    upper = keep.reshape(shots, outer, 2, stride)[:, :, 1, :]
+    lower = (
+        np.arange(outer, dtype=np.int64)[:, None] * (2 * stride)
+        + np.arange(stride, dtype=np.int64)[None, :]
+    )
+    survivors = lower[None] + upper.astype(np.int64) * stride
+    offsets = np.arange(shots, dtype=np.int64)[:, None, None] * n_paths
+    return (offsets + survivors).reshape(-1)
 
 
 def _apply_frame(
@@ -221,6 +331,15 @@ def _frame_active(
     if outcomes is None or not condition_bits:
         return np.zeros(shots, dtype=bool)
     return (outcomes[list(condition_bits)].sum(axis=0) & 1).astype(bool)
+
+
+def _measure_strides(tape: GateTape) -> list[int]:
+    """Collapse strides in measurement order (0 where no collapse is planned)."""
+    return [
+        tape.collapse_strides[index]
+        for index, group in enumerate(tape.groups)
+        if group.opcode == OP_MEASURE
+    ]
 
 
 class Engine:
@@ -280,6 +399,7 @@ class InterpretedFeynmanEngine(Engine):
                 f"gate {tape.unsupported_path_gates[0]} is not simulable by "
                 "the Feynman-path simulator"
             )
+        tape.require_branch_budget()
 
     def run(
         self,
@@ -300,13 +420,22 @@ class InterpretedFeynmanEngine(Engine):
             if rng is None:
                 rng = np.random.default_rng(0)
         n_paths = state.num_paths
+        measure_strides = _measure_strides(tape)
+        measure_cursor = 0
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
             if instr.is_measurement:
-                outcomes[instr.cbit] = _apply_measure(
+                outcomes[instr.cbit], keep = _apply_measure(
                     bits[:, instr.qubits[0]], amps, instr.basis, rng.random(1), n_paths
                 )
+                stride = measure_strides[measure_cursor]
+                measure_cursor += 1
+                if stride:
+                    flat = _collapse_flat_indices(keep, 1, n_paths, stride)
+                    bits = bits[flat]
+                    amps = amps[flat]
+                    n_paths //= 2
             elif instr.is_frame:
                 _apply_frame(
                     bits[:, instr.qubits[0]],
@@ -315,6 +444,9 @@ class InterpretedFeynmanEngine(Engine):
                     _frame_active(outcomes, instr.condition_bits, 1),
                     n_paths,
                 )
+            elif instr.gate == "H":
+                bits, amps = apply_hadamard(bits, amps, instr.qubits[0])
+                n_paths *= 2
             else:
                 apply_instruction(bits, amps, instr)
         return PathState(bits=bits, amplitudes=amps)
@@ -410,19 +542,26 @@ class InterpretedFeynmanEngine(Engine):
             row_codes = np.repeat(shot_codes, n_paths)
             apply_masked_pauli(bits, amps, qubit, row_codes)
 
+        measure_strides = _measure_strides(tape)
         gate_index = 0
         for instr in circuit.instructions:
             if instr.is_barrier:
                 continue
             if instr.is_measurement:
-                outcomes[instr.cbit] = _apply_measure(
+                outcomes[instr.cbit], keep = _apply_measure(
                     bits[:, instr.qubits[0]],
                     amps,
                     instr.basis,
                     measure_uniforms[measure_cursor],
                     n_paths,
                 )
+                stride = measure_strides[measure_cursor]
                 measure_cursor += 1
+                if stride:
+                    flat = _collapse_flat_indices(keep, shots, n_paths, stride)
+                    bits = bits[flat]
+                    amps = amps[flat]
+                    n_paths //= 2
             elif instr.is_frame:
                 _apply_frame(
                     bits[:, instr.qubits[0]],
@@ -431,6 +570,9 @@ class InterpretedFeynmanEngine(Engine):
                     _frame_active(outcomes, instr.condition_bits, shots),
                     n_paths,
                 )
+            elif instr.gate == "H":
+                bits, amps = apply_hadamard(bits, amps, instr.qubits[0])
+                n_paths *= 2
             else:
                 apply_instruction(bits, amps, instr)
             if not noiseless:
@@ -461,6 +603,7 @@ class TapeFeynmanEngine(Engine):
                 f"gate {tape.unsupported_path_gates[0]} is not simulable by "
                 "the Feynman-path simulator"
             )
+        tape.require_branch_budget()
         return tape
 
     def run(
@@ -486,12 +629,18 @@ class TapeFeynmanEngine(Engine):
             if rng is None:
                 rng = np.random.default_rng(0)
         n_paths = state.num_paths
-        for group in tape.groups:
+        for index, group in enumerate(tape.groups):
             if group.opcode == OP_MEASURE:
                 cbit, basis = group.params
-                outcomes[cbit] = _apply_measure(
+                outcomes[cbit], keep = _apply_measure(
                     bits_q[int(group.qubits[0, 0])], amps, basis, rng.random(1), n_paths
                 )
+                stride = tape.collapse_strides[index]
+                if stride:
+                    flat = _collapse_flat_indices(keep, 1, n_paths, stride)
+                    bits_q = bits_q[:, flat]
+                    amps = amps[flat]
+                    n_paths //= 2
             elif group.opcode == OP_CPAULI:
                 pauli = group.params[0]
                 _apply_frame(
@@ -500,6 +649,10 @@ class TapeFeynmanEngine(Engine):
                     pauli,
                     _frame_active(outcomes, group.params[1:], 1),
                     n_paths,
+                )
+            elif group.opcode == OP_H:
+                bits_q, amps, n_paths = _branch_hadamard_group(
+                    bits_q, amps, group.qubits, n_paths
                 )
             else:
                 _apply_group(bits_q, amps, group.opcode, group.qubits)
@@ -603,7 +756,7 @@ def _execute_stacked_shots(
     for index, group in enumerate(tape.groups):
         if group.opcode == OP_MEASURE:
             cbit, basis = group.params
-            outcomes[cbit] = _apply_measure(
+            outcomes[cbit], keep = _apply_measure(
                 bits_q[int(group.qubits[0, 0])],
                 amps,
                 basis,
@@ -611,6 +764,12 @@ def _execute_stacked_shots(
                 n_paths,
             )
             measure_cursor += 1
+            stride = tape.collapse_strides[index]
+            if stride:
+                flat = _collapse_flat_indices(keep, shots, n_paths, stride)
+                bits_q = bits_q[:, flat]
+                amps = amps[flat]
+                n_paths //= 2
         elif group.opcode == OP_CPAULI:
             _apply_frame(
                 bits_q[int(group.qubits[0, 0])],
@@ -618,6 +777,10 @@ def _execute_stacked_shots(
                 group.params[0],
                 _frame_active(outcomes, group.params[1:], shots),
                 n_paths,
+            )
+        elif group.opcode == OP_H:
+            bits_q, amps, n_paths = _branch_hadamard_group(
+                bits_q, amps, group.qubits, n_paths
             )
         else:
             _apply_group(bits_q, amps, group.opcode, group.qubits)
@@ -842,8 +1005,15 @@ def _execute_grouped_shots(
                 )
 
     for index, group in enumerate(tape.groups):
-        width = active * n_paths
-        _apply_group(bits_q[:, :width], amps[:width], group.opcode, group.qubits)
+        if group.opcode == OP_H:
+            bits_q, amps, zparity, n_paths = _branch_grouped_block(
+                bits_q, amps, zparity, group.qubits, n_paths, n_slots, active
+            )
+        else:
+            width = active * n_paths
+            _apply_group(
+                bits_q[:, :width], amps[:width], group.opcode, group.qubits
+            )
         _activate_through(index)
         _apply_bucket(index)
     final_bucket = len(tape.groups)

@@ -170,12 +170,15 @@ class FeynmanPathSimulator:
         if ideal_output is None:
             ideal_output = self.run(circuit, input_state)
         bits, amps = self.run_noisy_shots(circuit, input_state, noise, shots, rng=rng)
+        # Branching circuits may leave more paths per shot than the input had
+        # (uncollapsed H branches), so derive the per-shot width from the
+        # returned block instead of the input state.
         fidelities = shot_fidelities(
             ideal_output,
             bits,
             amps,
             shots=shots,
-            n_paths=input_state.num_paths,
+            n_paths=bits.shape[0] // shots,
             keep_qubits=keep_qubits,
         )
         return QueryResult(fidelities=fidelities, shots=shots)

@@ -21,9 +21,13 @@ from repro.sim.noise import PAULI_X, PAULI_Y, PAULI_Z
 
 _T_PHASE = np.exp(1j * np.pi / 4)
 
+#: The amplitude weight of each Hadamard branch; shared by every engine so
+#: branched trajectories stay bit-identical across them.
+INV_SQRT2 = 1.0 / np.sqrt(2.0)
+
 
 class UnsupportedGateError(ValueError):
-    """Raised when a circuit contains a gate that branches basis states (e.g. H)."""
+    """Raised when a circuit contains a gate outside the path-simulable set."""
 
 
 def apply_instruction(bits: np.ndarray, amps: np.ndarray, instr: Instruction) -> None:
@@ -71,6 +75,29 @@ def apply_instruction(bits: np.ndarray, amps: np.ndarray, instr: Instruction) ->
         raise UnsupportedGateError(
             f"gate {gate} is not simulable by the Feynman-path simulator"
         )
+
+
+def apply_hadamard(
+    bits: np.ndarray, amps: np.ndarray, qubit: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Branch every row of the row-major path block through one ``H``.
+
+    ``H|b> = (|0> + (-1)**b |1>) / sqrt(2)``: row ``j`` splits into rows
+    ``2 j`` (qubit cleared) and ``2 j + 1`` (qubit set, sign flipped when the
+    pre-branch bit was 1), so the newest branch axis is always the innermost
+    stride-1 pairing -- the layout the compile-time collapse plan of
+    :mod:`repro.circuit.ir` assumes.  Returns the new ``(bits, amps)``
+    arrays; the inputs are left untouched.
+    """
+    old = bits[:, qubit].copy()
+    bits = np.repeat(bits, 2, axis=0)
+    amps = np.repeat(amps, 2)
+    amps *= INV_SQRT2
+    upper = amps[1::2]
+    upper[old] *= -1.0
+    bits[0::2, qubit] = False
+    bits[1::2, qubit] = True
+    return bits, amps
 
 
 def apply_masked_pauli(

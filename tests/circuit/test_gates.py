@@ -4,6 +4,7 @@ import pytest
 
 from repro.circuit.gates import (
     ALL_GATES,
+    BRANCHING_GATES,
     CLIFFORD_GATES,
     PATH_SIMULABLE_GATES,
     REVERSIBLE_CLASSICAL_GATES,
@@ -63,7 +64,11 @@ class TestGateClassification:
         assert REVERSIBLE_CLASSICAL_GATES <= PATH_SIMULABLE_GATES
         for name in ("Z", "S", "T", "CZ", "Y"):
             assert is_path_simulable(name)
-        assert not is_path_simulable("H")
+
+    def test_hadamard_is_the_only_branching_path_gate(self):
+        assert is_path_simulable("H")
+        assert BRANCHING_GATES == {"H"}
+        assert BRANCHING_GATES <= PATH_SIMULABLE_GATES
 
     def test_clifford_set_matches_specs(self):
         assert CLIFFORD_GATES == {

@@ -70,12 +70,33 @@ class TestCompile:
             flat = group.qubits.ravel().tolist()
             assert len(flat) == len(set(flat))
 
-    def test_unsupported_path_gates_recorded(self):
+    def test_unsupported_path_gates_recorded(self, monkeypatch):
+        # Every registered gate is path-simulable since H joined the set, so
+        # exercise the rejection safety net with a synthetic registry entry.
+        from repro.circuit import gates as gates_mod
+        from repro.circuit import ir as ir_mod
+
+        monkeypatch.setitem(
+            gates_mod.ALL_GATES,
+            "RX",
+            gates_mod._spec(
+                "RX", 1, classical_reversible=False, clifford=False, diagonal=False
+            ),
+        )
+        monkeypatch.setitem(ir_mod.GATE_OPCODES, "RX", ir_mod.GATE_OPCODES["X"])
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.add("RX", 1)
+        tape = compile_circuit(circuit)
+        assert tape.unsupported_path_gates == ("RX",)
+
+    def test_hadamard_is_path_simulable_and_tagged(self):
         circuit = QuantumCircuit(2)
         circuit.x(0)
         circuit.h(1)
         tape = compile_circuit(circuit)
-        assert tape.unsupported_path_gates == ("H",)
+        assert tape.unsupported_path_gates == ()
+        assert tape.max_branch_level == 1
 
 
 class TestCache:

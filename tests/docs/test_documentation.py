@@ -86,6 +86,11 @@ def test_architecture_doc_covers_the_contracts():
         "MEASURE",
         "CPAULI",
         "fusion-barrier",
+        "branch level",
+        "BranchBudgetError",
+        "collapse plan",
+        "teleport-fused",
+        "branch_budget_exceeded",
     ):
         assert required in text, f"ARCHITECTURE.md no longer mentions {required}"
 

@@ -101,14 +101,20 @@ class TestLookaheadRouting:
         assert routed.swap_count == 0
         assert routed.circuit.gates[0].qubits == (4, 5)
 
-    def test_remote_layout_forces_swaps_and_stays_equivalent(self):
+    def test_remote_seed_layout_is_refined_away(self):
+        """A bad explicit layout is a seed, not a contract: the fwd/back
+        selection passes move the remote pair adjacent, where the greedy
+        router (no layout selection) would have paid a SWAP chain."""
         device = ibm_perth_like()
         circuit = QuantumCircuit(2)
         circuit.cx(0, 1)
         routed = LookaheadSwapRouter(device).route(
             circuit, initial_layout={0: 0, 1: 6}
         )
-        assert routed.swap_count >= 1
+        greedy = GreedySwapRouter(device).route(circuit, initial_layout={0: 0, 1: 6})
+        assert greedy.swap_count >= 1
+        assert routed.swap_count == 0
+        assert device.are_connected(*routed.circuit.gates[0].qubits)
         _assert_equivalent(circuit, routed)
 
     def test_multi_qubit_gates_route_to_connected_patches(self):
@@ -244,6 +250,24 @@ class TestSwapCountNonRegression:
             assert lookahead.extra_swaps == greedy.extra_swaps == 0
         else:
             assert lookahead.extra_swaps <= greedy.extra_swaps
+
+    @pytest.mark.slow
+    def test_htree_cluster_layout_selection_beats_residual_swaps(self):
+        """Layout selection now refines the H-tree cluster seed layout.
+
+        Before the fix the fwd/back passes were skipped whenever an initial
+        layout was given, leaving ``htree-swap-m3`` with 17 residual SWAPs
+        under the lookahead router; running the passes from the cluster seed
+        must strictly beat that ceiling (and never regress back to it).
+        """
+        spec = get_scenario("htree-swap-m3")
+        compiled = compile_scenario(
+            spec.variant(
+                "htree-swap-m3-layout-probe", "swap-count probe", router="lookahead"
+            ),
+            SEED,
+        )
+        assert compiled.extra_swaps < 17
 
     def test_strict_reduction_on_a_sparse_backend(self):
         """At least one Figure-12 device scenario must strictly improve."""

@@ -50,21 +50,38 @@ class TestRegistry:
 
 class TestRelocations:
     def test_long_free_chain_teleports_instead_of_swapping(self):
+        # refine_layout=False pins the pathological far-apart placement the
+        # relocation machinery exists for; by default layout selection would
+        # simply move the pair adjacent.
         circuit, layout, device = far_apart_cx()
-        routed = make_router("lookahead-teleport", device).route(circuit, layout)
+        routed = make_router(
+            "lookahead-teleport", device, refine_layout=False
+        ).route(circuit, layout)
         assert routed.swap_count == 0
         assert routed.link_operations > 0
         assert any(instr.is_measurement for instr in routed.circuit.gates)
 
     def test_swap_router_baseline_differs(self):
         circuit, layout, device = far_apart_cx()
-        swapped = make_router("lookahead", device).route(circuit, layout)
+        swapped = make_router("lookahead", device, refine_layout=False).route(
+            circuit, layout
+        )
         assert swapped.swap_count > 0
         assert swapped.link_operations == 0
 
-    def test_statevector_exact_for_every_outcome(self):
+    def test_layout_refinement_dissolves_the_pathological_seed(self):
+        """With refinement on (the default) the far-apart seed layout is
+        repaired during layout selection, so no relocation is ever needed."""
         circuit, layout, device = far_apart_cx()
         routed = make_router("lookahead-teleport", device).route(circuit, layout)
+        assert routed.swap_count == 0
+        assert routed.link_operations == 0
+
+    def test_statevector_exact_for_every_outcome(self):
+        circuit, layout, device = far_apart_cx()
+        routed = make_router(
+            "lookahead-teleport", device, refine_layout=False
+        ).route(circuit, layout)
         state = PathState.register_superposition(2, [0, 1])
         logical_output = get_engine("feynman-tape").run(circuit, state)
         expected = routed.map_state(logical_output, final=True)
@@ -94,7 +111,9 @@ class TestRelocations:
 
     def test_relocation_frees_the_origin_vertex(self):
         circuit, layout, device = far_apart_cx()
-        routed = make_router("lookahead-teleport", device).route(circuit, layout)
+        routed = make_router(
+            "lookahead-teleport", device, refine_layout=False
+        ).route(circuit, layout)
         final = routed.physical_qubits([0, 1], final=True)
         assert len(set(final)) == 2
         # The teleported qubit no longer sits at its pinned end.
@@ -104,7 +123,7 @@ class TestRelocations:
 class TestDeterminism:
     def test_route_is_reproducible(self):
         circuit, layout, device = far_apart_cx()
-        router = make_router("lookahead-teleport", device)
+        router = make_router("lookahead-teleport", device, refine_layout=False)
         first = router.route(circuit, layout)
         second = router.route(circuit, layout)
         assert first.circuit.instructions == second.circuit.instructions

@@ -19,6 +19,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.circuit import QuantumCircuit
+from repro.circuit import ir
 from repro.qram import ClassicalMemory, make_architecture
 from repro.sim import (
     DepolarizingNoise,
@@ -306,12 +307,24 @@ class TestPropertyEquivalence:
 
 
 class TestEngineErrors:
-    def test_feynman_engines_reject_branching_gates(self):
+    def test_feynman_engines_execute_branching_gates(self):
+        # H used to be rejected outright; it now branches the path set, so
+        # every Feynman engine must produce the uniform |+> superposition.
         circuit = QuantumCircuit(1)
         circuit.h(0)
         state = PathState.from_basis_assignments([({}, 1.0)], 1)
-        for name in ("feynman-interp", "feynman-tape"):
-            with pytest.raises(UnsupportedGateError, match="gate H"):
+        for name in ("feynman-interp", "feynman-tape", "feynman-batch"):
+            out = get_engine(name).run(circuit, state)
+            assert out.num_paths == 2
+            assert np.allclose(np.abs(out.amplitudes), 1 / np.sqrt(2))
+
+    def test_feynman_engines_reject_over_budget_branching(self):
+        circuit = QuantumCircuit(ir.get_max_branches() + 1)
+        for qubit in range(circuit.num_qubits):
+            circuit.h(qubit)
+        state = PathState.from_basis_assignments([({}, 1.0)], circuit.num_qubits)
+        for name in ("feynman-interp", "feynman-tape", "feynman-batch"):
+            with pytest.raises(ir.BranchBudgetError, match="branch budget"):
                 get_engine(name).run(circuit, state)
 
     def test_statevector_engine_rejects_branching_shot_blocks(self):

@@ -84,11 +84,13 @@ class TestGateSemantics:
         assert np.isclose(both.amplitudes[0], -1.0)
         assert np.isclose(one.amplitudes[0], 1.0)
 
-    def test_hadamard_rejected(self, simulator):
+    def test_hadamard_branches(self, simulator):
         circuit = QuantumCircuit(1)
         circuit.h(0)
-        with pytest.raises(UnsupportedGateError):
-            simulator.run(circuit, _single_path(1))
+        out = simulator.run(circuit, _single_path(1))
+        assert out.as_dict() == pytest.approx(
+            {(0,): 1 / np.sqrt(2), (1,): 1 / np.sqrt(2)}
+        )
 
     def test_state_size_mismatch_rejected(self, simulator):
         circuit = QuantumCircuit(2)
