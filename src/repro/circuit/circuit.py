@@ -51,6 +51,7 @@ class QuantumCircuit:
         if self.num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
         self._num_clbits = 0
+        self._written_clbits: set[int] = set()
         for instr in self.instructions:
             self._check_bounds(instr)
             self._track_clbits(instr)
@@ -64,7 +65,16 @@ class QuantumCircuit:
             )
 
     def _track_clbits(self, instr: Instruction) -> None:
+        # Instruction validation already guarantees MEASURE cbits are
+        # non-negative ints; only the one-write-per-slot rule lives here.
         if instr.is_measurement:
+            if instr.cbit in self._written_clbits:
+                raise ValueError(
+                    f"classical slot {instr.cbit} is already written by an "
+                    "earlier measurement; every MEASURE outcome needs its own "
+                    "slot (pass cbit=None to auto-allocate a fresh one)"
+                )
+            self._written_clbits.add(instr.cbit)
             self._num_clbits = max(self._num_clbits, instr.cbit + 1)
 
     @property
@@ -73,10 +83,15 @@ class QuantumCircuit:
         return self._num_clbits
 
     def append(self, instr: Instruction) -> None:
-        """Append a prepared :class:`Instruction` (invalidates the compiled tape)."""
+        """Append a prepared :class:`Instruction` (invalidates the compiled tape).
+
+        Validation happens *before* the instruction lands, so a rejected
+        append (out-of-range qubit, duplicate classical slot) leaves the
+        circuit unchanged.
+        """
         self._check_bounds(instr)
-        self.instructions.append(instr)
         self._track_clbits(instr)
+        self.instructions.append(instr)
         self._tape = None
 
     def extend(self, instrs: Iterable[Instruction]) -> None:
@@ -211,6 +226,16 @@ class QuantumCircuit:
         slot; ``None`` allocates the next free slot.  The outcome is sampled
         at execution time by the engines (see :mod:`repro.sim.engine`) --
         per shot, from the shot's own seeded stream.
+
+        Classical-slot contract: every slot is written by **at most one**
+        measurement -- a second write to the same slot raises ``ValueError``
+        (it would silently overwrite the first outcome, corrupting every
+        downstream ``cpauli`` frame and postselection check conditioned on
+        it).  An explicit ``cbit`` may skip ahead and leave *gap* slots
+        (``measure(q, cbit=7)`` on a fresh circuit makes ``num_clbits`` 8):
+        gap slots are never written at execution time and read as ``0``, so
+        a ``cpauli`` conditioned on one is inert; later auto-allocations
+        continue from ``num_clbits`` and never land in a gap.
         """
         slot = self._num_clbits if cbit is None else cbit
         self.append(

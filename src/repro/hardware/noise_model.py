@@ -76,11 +76,32 @@ def device_noise_model(
     ``eps_r = 1`` reproduces "current hardware"; larger values model the
     improved machines the paper extrapolates to (``eps_r = 10`` roughly the
     near-term target, ``eps_r = 100`` the error-corrected regime).
+
+    The device's :attr:`~repro.hardware.devices.DeviceModel.pauli_bias`
+    splits each gate's total error rate across ``X``/``Y``/``Z``; the
+    default ``(1, 1, 1)`` is exactly the paper's depolarizing channel while
+    erasure-qubit calibrations shift weight onto the detectable ``X``/``Y``
+    errors at the same total rate.
     """
     if error_reduction_factor <= 0:
         raise ValueError("error reduction factor must be positive")
-    single = PauliChannel.depolarizing(device.single_qubit_error / error_reduction_factor)
-    double = PauliChannel.depolarizing(device.two_qubit_error / error_reduction_factor)
+
+    def channel(rate: float) -> PauliChannel:
+        if device.pauli_bias == (1.0, 1.0, 1.0):
+            # Keep the depolarizing constructor on the unbiased path: it
+            # computes eps/3 directly, and rebuilding it as eps * (1/3) can
+            # differ by an ulp -- committed artefacts are bit-exact replays.
+            return PauliChannel.depolarizing(rate)
+        weight_x, weight_y, weight_z = device.pauli_bias
+        total = weight_x + weight_y + weight_z
+        return PauliChannel(
+            p_x=rate * weight_x / total,
+            p_y=rate * weight_y / total,
+            p_z=rate * weight_z / total,
+        )
+
+    single = channel(device.single_qubit_error / error_reduction_factor)
+    double = channel(device.two_qubit_error / error_reduction_factor)
     return DeviceNoiseModel(
         single_qubit_channel=single,
         two_qubit_channel=double,

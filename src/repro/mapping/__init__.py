@@ -20,6 +20,12 @@ devices or surface-code FTQC layouts).  This package provides:
 """
 
 from repro.mapping.device import HTreeDevice, htree_device
+from repro.mapping.dual_rail import (
+    CHECK_TAG,
+    DualRailExpansion,
+    encode_dual_rail,
+    rail_pair,
+)
 from repro.mapping.embedding import EmbeddingReport, verify_topological_minor
 from repro.mapping.grid import Grid2D
 from repro.mapping.htree import HTreeEmbedding, QubitRole
@@ -32,6 +38,8 @@ from repro.mapping.routing import (
 )
 
 __all__ = [
+    "CHECK_TAG",
+    "DualRailExpansion",
     "EmbeddingReport",
     "Grid2D",
     "HTreeDevice",
@@ -42,7 +50,9 @@ __all__ = [
     "RoutingScheme",
     "SwapRouting",
     "TeleportationRouting",
+    "encode_dual_rail",
     "htree_device",
+    "rail_pair",
     "render_layout",
     "render_levels",
     "render_overhead_summary",

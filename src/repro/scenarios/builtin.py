@@ -33,6 +33,19 @@ Three families, all registered at import time:
   ``htree-teleport-executed-idle`` -- the comparison the branching engine
   support exists to make.
 
+* **Dual-rail erasure-detection ablation** (``htree-dual-rail-m3`` /
+  ``htree-dual-rail-idle`` and the bare-vs-dual pair ``bare-bb-m2`` /
+  ``dual-rail-bb-m2``): the same workloads encoded with two erasure-
+  detecting rails per logical qubit and postselected parity checks
+  (:mod:`repro.mapping.dual_rail`).  Single-rail ``X``/``Y`` noise leaves
+  the codespace and is *detected* -- rejected shots are discarded and
+  accounted in the records' ``kept_fraction``.  The ``bb-m2`` pair runs on
+  the erasure-biased ``dual-rail-cavity`` calibration (X/Y-dominant noise,
+  the physical regime dual-rail qubits are built for), where the encoded
+  variant's postselected fidelity must beat its bare partner at equal
+  ``eps_r`` (gated in ``benchmarks/bench_dual_rail.py``) -- at the price of
+  more physical qubits, more gates, and the discarded shots.
+
 * **Device studies** (``perth-m1`` / ``guadalupe-m2``): the Figure 12
   methodology as sweepable scenarios -- route onto the named backend, sweep
   the error-reduction factor.
@@ -126,6 +139,51 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         mapping="htree",
         routing="teleport-fused",
         idle_error=None,
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-dual-rail-m3",
+        description=(
+            "virtual QRAM m=3 (the H-tree workload) dual-rail encoded: "
+            "erasure-detecting rails + postselected parity checks"
+        ),
+        qram_width=3,
+        mapping="dual-rail",
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="htree-dual-rail-idle",
+        description=(
+            "htree-dual-rail-m3 plus schedule-aware idle dephasing "
+            "(the encoding's depth overhead priced in)"
+        ),
+        qram_width=3,
+        mapping="dual-rail",
+        idle_error=None,
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="bare-bb-m2",
+        description=(
+            "bucket-brigade QRAM m=2, unencoded on erasure-biased noise -- "
+            "the bare half of the bare-vs-dual-rail ablation"
+        ),
+        architecture="bucket-brigade",
+        qram_width=2,
+        mapping="none",
+        device="dual-rail-cavity",
+        error_reduction_factors=_SWEEP,
+    ),
+    ScenarioSpec(
+        name="dual-rail-bb-m2",
+        description=(
+            "bucket-brigade QRAM m=2, dual-rail encoded on erasure-biased "
+            "noise -- postselected partner of bare-bb-m2"
+        ),
+        architecture="bucket-brigade",
+        qram_width=2,
+        mapping="dual-rail",
+        device="dual-rail-cavity",
         error_reduction_factors=_SWEEP,
     ),
     ScenarioSpec(

@@ -13,6 +13,16 @@ Mapping strategies
 ``none``
     Execute the logical circuit as built (all-to-all connectivity).
 
+``dual-rail``
+    Encode every logical qubit as two erasure-detecting rails
+    (:func:`repro.mapping.dual_rail.encode_dual_rail`): gates become
+    parity-preserving dual-rail gadgets, and per-qubit parity-check
+    ancillas are measured into classical bits.  The compiled bundle carries
+    the resulting ``(cbit, expected)`` pairs in
+    :attr:`CompiledScenario.postselect`; sweep shards postselect shots on
+    them, so records report the postselected fidelity plus the surviving
+    ``kept_fraction``.
+
 ``htree`` + ``swap``
     Place the circuit on the executable H-tree device
     (:func:`repro.mapping.device.htree_device`) and route it with the greedy
@@ -74,6 +84,7 @@ from repro.hardware.devices import DEVICES, DeviceModel, grid_device
 from repro.hardware.noise_model import scheduled_device_noise_model
 from repro.hardware.router import get_default_router, make_router
 from repro.mapping.device import htree_device
+from repro.mapping.dual_rail import encode_dual_rail, rail_pair
 from repro.mapping.grid import Grid2D
 from repro.mapping.htree import HTreeEmbedding
 from repro.mapping.teleport import expand_teleport_links
@@ -119,8 +130,12 @@ class CompiledScenario:
     #: Entanglement-link hops physically present in ``circuit`` (the
     #: ``teleport-executed`` routing); 0 when links are analytic or absent.
     executed_link_operations: int = 0
-    #: Mid-circuit measurements in ``circuit`` (executed teleport links).
+    #: Mid-circuit measurements in ``circuit`` (executed teleport links and
+    #: dual-rail parity checks).
     measurements: int = 0
+    #: ``(cbit, expected_outcome)`` postselection checks (the dual-rail
+    #: mapping's parity/flag outcomes); empty means keep every shot.
+    postselect: tuple[tuple[int, int], ...] = ()
 
     @property
     def executed_gates(self) -> int:
@@ -277,6 +292,33 @@ def _compile_resolved(spec: ScenarioSpec, seed: int) -> CompiledScenario:
             link_sites=(),
             logical_gates=logical_gates,
             logical_depth=logical_depth,
+        )
+
+    if spec.mapping == "dual-rail":
+        expansion = encode_dual_rail(logical)
+        return CompiledScenario(
+            spec=spec,
+            seed=seed,
+            circuit=expansion.circuit,
+            input_state=expansion.map_state(logical_input),
+            ideal_output=expansion.map_state(logical_ideal),
+            # The algorithm consumes the *logical* kept registers, so the
+            # reduced fidelity keeps both rails of each kept logical qubit
+            # (non-kept rails park in the fixed |10> codeword and the
+            # ancillae frame-reset to |0>, so the ideal output stays a
+            # product across the cut).
+            keep_qubits=tuple(
+                rail
+                for q in architecture.kept_qubits()
+                for rail in rail_pair(q)
+            ),
+            device=calibration,
+            extra_swaps=0,
+            link_sites=(),
+            logical_gates=logical_gates,
+            logical_depth=logical_depth,
+            measurements=len(expansion.postselect),
+            postselect=expansion.postselect,
         )
 
     if spec.mapping == "htree" and spec.routing in (

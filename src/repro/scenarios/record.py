@@ -23,7 +23,8 @@ from typing import Iterator
 
 #: Version of the record field set below.  Bump on any field change: the
 #: cache fingerprint mixes it in, so stale artefacts miss instead of lying.
-RECORD_SCHEMA_VERSION = 1
+#: v2 added ``kept_fraction`` (dual-rail postselection accounting).
+RECORD_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,14 @@ class ScenarioRecord:
     engine: str
     fidelity: float
     std_error: float
+    #: Fraction of shots that survived postselection on the run's recorded
+    #: check outcomes (``1.0`` for scenarios without postselection).  The
+    #: dual-rail mapping keeps this *in the data model* rather than folding
+    #: the discard silently into ``fidelity``: ``fidelity`` is the mean over
+    #: kept shots only, and ``kept_fraction`` says how many those were.
+    #: When every shot is rejected it is ``0.0`` and ``fidelity`` is ``NaN``
+    #: -- never a silently 0-filled fidelity.
+    kept_fraction: float = 1.0
     schema_version: int = RECORD_SCHEMA_VERSION
 
     # ------------------------------------------------------- mapping protocol
@@ -105,9 +114,12 @@ class ScenarioRecord:
     def from_dict(cls, payload: dict[str, object]) -> "ScenarioRecord":
         """Rebuild a record from :meth:`as_dict` output.
 
-        Rejects unknown keys and schema-version mismatches outright rather
-        than guessing at a migration -- the cache treats the resulting
-        ``ValueError`` as a miss and re-runs.
+        Rejects unknown keys, missing keys and schema-version mismatches
+        outright rather than guessing at a migration -- the cache treats the
+        resulting ``ValueError`` as a miss and re-runs.  ``schema_version``
+        itself must be present: a truncated or foreign payload without one
+        would otherwise be waved through as current-schema, which is exactly
+        the lie the version stamp exists to prevent.
         """
         if not isinstance(payload, dict):
             raise ValueError(f"record payload must be a dict, got {type(payload)}")
@@ -116,9 +128,9 @@ class ScenarioRecord:
         if unknown:
             raise ValueError(f"unknown record fields: {sorted(unknown)}")
         missing = expected - set(payload)
-        if missing - {"schema_version"}:
+        if missing:
             raise ValueError(f"missing record fields: {sorted(missing)}")
-        version = payload.get("schema_version", RECORD_SCHEMA_VERSION)
+        version = payload["schema_version"]
         if version != RECORD_SCHEMA_VERSION:
             raise ValueError(
                 f"record schema_version {version!r} != "

@@ -52,9 +52,12 @@ def _scenario_shard(spec_bundle: tuple, shard: ShotShard) -> np.ndarray:
         keep_qubits=list(compiled.keep_qubits),
         ideal_output=compiled.ideal_output,
         rng=shard.seeds(),
+        postselect=compiled.postselect or None,
     )
     # Readout error is one closed-form survival factor per shot (no random
     # stream consumed), so folding it here keeps sharding bit-identical.
+    # Postselection-rejected shots are NaN and stay NaN through the
+    # multiplication, so shard concatenation keeps them countable.
     survival = compiled.readout_survival(factor)
     if survival != 1.0:
         return result.fidelities * survival
@@ -68,6 +71,7 @@ def _point_record(
     engine: str,
     fidelity: float,
     std_error: float,
+    kept_fraction: float,
 ) -> ScenarioRecord:
     """One sweep point as a typed record (resolved names come off the spec)."""
     spec = compiled.spec
@@ -101,6 +105,7 @@ def _point_record(
         engine=engine,
         fidelity=fidelity,
         std_error=std_error,
+        kept_fraction=kept_fraction,
     )
 
 
@@ -188,6 +193,7 @@ def run_scenario(
             engine_name,
             result.mean_fidelity,
             result.std_error,
+            result.kept_fraction,
         )
         for factor, result in zip(spec.error_reduction_factors, merged)
     ]
@@ -218,6 +224,8 @@ def scenario_report(
         f"readout_error={first['readout_error']}\n"
         f"  shots={first['shots']} engine={first['engine']}"
     )
-    columns = ["error_reduction_factor", "fidelity", "std_error"]
+    columns = ["error_reduction_factor", "fidelity", "std_error", "kept_fraction"]
     rows = [[record[column] for column in columns] for record in records]
-    return header + "\n" + format_table(["eps_r", "fidelity", "std_error"], rows)
+    return header + "\n" + format_table(
+        ["eps_r", "fidelity", "std_error", "kept_fraction"], rows
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 ARCHITECTURES: tuple[str, ...] = ("virtual", "bucket-brigade", "fanout")
-MAPPINGS: tuple[str, ...] = ("none", "htree", "device")
+MAPPINGS: tuple[str, ...] = ("none", "htree", "device", "dual-rail")
 ROUTINGS: tuple[str, ...] = (
     "swap",
     "teleport",
@@ -41,7 +41,10 @@ class ScenarioSpec:
         ``"none"`` executes the logical circuit as built; ``"htree"`` embeds
         it in the 2D H-tree layout (Sec. 4.2) and makes the communication
         real; ``"device"`` routes it onto a named sparse-connectivity backend
-        (the Figure 12 methodology).
+        (the Figure 12 methodology); ``"dual-rail"`` encodes every logical
+        qubit as two erasure-detecting rails with postselected parity checks
+        (see :mod:`repro.mapping.dual_rail`) -- sweep points then report the
+        surviving ``kept_fraction`` alongside the postselected fidelity.
     routing:
         Communication scheme for ``mapping="htree"``: ``"swap"`` materialises
         SWAP chains along the tree arms (every SWAP incurs gate noise),

@@ -37,6 +37,7 @@ from repro.cache.fingerprint import CACHE_SCHEMA_VERSION, canonical_spec
 from repro.cache.store import ResultCache, resolve_cache
 from repro.circuit.ir import BranchBudgetError
 from repro.scenarios.compile import compile_scenario
+from repro.scenarios.record import RECORD_SCHEMA_VERSION
 from repro.scenarios.run import resolve_run
 from repro.scenarios.spec import available_scenarios, get_scenario
 from repro.server.jobs import JobTable, JobWorker
@@ -108,6 +109,7 @@ class ScenarioService:
             {
                 "cache_dir": str(self.cache.root),
                 "cache_schema_version": CACHE_SCHEMA_VERSION,
+                "record_schema_version": RECORD_SCHEMA_VERSION,
                 "cached_results": len(self.cache.fingerprints()),
                 "jobs": len(self.jobs),
             }

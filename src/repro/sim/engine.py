@@ -385,6 +385,27 @@ class Engine:
         """
         raise NotImplementedError
 
+    def run_noisy_shots_recorded(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Like :meth:`run_noisy_shots`, plus the recorded classical register.
+
+        Returns ``(bits, amps, outcomes)`` where ``outcomes`` is the batch's
+        classical register -- shape ``(num_clbits, shots)`` ``int8``, one row
+        per slot -- or ``None`` when the circuit records nothing.  The random
+        stream consumed is *identical* to :meth:`run_noisy_shots` (recording
+        observes the register the engines already maintain), so recorded and
+        unrecorded runs of the same seed agree bit for bit.  Postselection
+        (:meth:`~repro.sim.feynman.FeynmanPathSimulator.query_fidelities`)
+        partitions shots by these outcomes.
+        """
+        raise NotImplementedError
+
 
 # ==================================================================== engines
 class InterpretedFeynmanEngine(Engine):
@@ -460,6 +481,20 @@ class InterpretedFeynmanEngine(Engine):
         rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised Monte-Carlo shots, instruction at a time (see :class:`Engine`)."""
+        bits, amps, _ = self.run_noisy_shots_recorded(
+            circuit, state, noise, shots, rng=rng
+        )
+        return bits, amps
+
+    def run_noisy_shots_recorded(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Monte-Carlo shots plus the recorded register (see :class:`Engine`)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
@@ -588,7 +623,7 @@ class InterpretedFeynmanEngine(Engine):
                 if channel.is_trivial:
                     continue
                 apply_site(qubit, channel)
-        return bits, amps
+        return bits, amps, outcomes
 
 
 class TapeFeynmanEngine(Engine):
@@ -667,6 +702,20 @@ class TapeFeynmanEngine(Engine):
         rng: np.random.Generator | ShotSeeds | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised Monte-Carlo shots over the fused tape (see :class:`Engine`)."""
+        bits, amps, _ = self.run_noisy_shots_recorded(
+            circuit, state, noise, shots, rng=rng
+        )
+        return bits, amps
+
+    def run_noisy_shots_recorded(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Monte-Carlo shots plus the recorded register (see :class:`Engine`)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
@@ -720,7 +769,7 @@ def _execute_stacked_shots(
     sites: NoiseSiteTable | None,
     codes: np.ndarray | None,
     measure_uniforms: np.ndarray | None,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """Execute the fused tape over a full shot-stacked, qubit-major block.
 
     Column ``s * n_paths + p`` of the block is path ``p`` of shot ``s`` (the
@@ -729,6 +778,9 @@ def _execute_stacked_shots(
     measurement-bearing circuits, where per-shot uniforms defeat pattern
     grouping.  ``codes`` holds the pre-drawn Pauli codes (``(n_sites,
     shots)``), ``measure_uniforms`` the pre-drawn measurement uniforms.
+    Returns ``(bits, amps, outcomes)`` -- the recorded classical register
+    (``None`` when the tape has no classical bits) rides along for the
+    ``*_recorded`` engine entry points.
     """
     n_paths = state.num_paths
     bits_q = np.tile(np.ascontiguousarray(state.bits.T), (1, shots))
@@ -807,7 +859,7 @@ def _execute_stacked_shots(
                 int(event_code[event]),
                 n_paths,
             )
-    return np.ascontiguousarray(bits_q.T), amps
+    return np.ascontiguousarray(bits_q.T), amps, outcomes
 
 
 class BatchFeynmanEngine(TapeFeynmanEngine):
@@ -825,15 +877,15 @@ class BatchFeynmanEngine(TapeFeynmanEngine):
 
     name = "feynman-batch"
 
-    def run_noisy_shots(
+    def run_noisy_shots_recorded(
         self,
         circuit: QuantumCircuit,
         state: PathState,
         noise: NoiseModel,
         shots: int,
         rng: np.random.Generator | ShotSeeds | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Pattern-grouped Monte-Carlo shots (see :class:`Engine`)."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Pattern-grouped Monte-Carlo shots plus the register (see :class:`Engine`)."""
         if shots <= 0:
             raise ValueError("shots must be positive")
         _check_state(circuit, state)
@@ -865,9 +917,12 @@ class BatchFeynmanEngine(TapeFeynmanEngine):
             event_site, event_shot, event_code = sites.draw_sparse(
                 shots, np.random.default_rng() if rng is None else rng
             )
-        return _execute_grouped_shots(
+        bits, amps = _execute_grouped_shots(
             tape, state, shots, sites, event_site, event_shot, event_code
         )
+        # Measurement-free tapes record nothing (the clbit case took the
+        # stacked path above), so the register is always absent here.
+        return bits, amps, None
 
 
 def _execute_grouped_shots(
@@ -1103,6 +1158,20 @@ class StatevectorEngine(Engine):
         bits = np.tile(out_bits, (shots, 1))
         amps = np.tile(out_amps, shots).astype(complex)
         return bits, amps
+
+    def run_noisy_shots_recorded(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Unsupported: the dense engine replays one trajectory, not per-shot records."""
+        raise NotImplementedError(
+            "the statevector engine does not record per-shot measurement "
+            "outcomes; use 'feynman-tape', 'feynman-batch' or 'feynman-interp'"
+        )
 
 
 # ============================================================= group execution

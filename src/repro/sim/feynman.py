@@ -49,22 +49,56 @@ __all__ = ["FeynmanPathSimulator", "QueryResult", "UnsupportedGateError"]
 
 @dataclass
 class QueryResult:
-    """Outcome of a Monte-Carlo noisy query simulation."""
+    """Outcome of a Monte-Carlo noisy query simulation.
+
+    Postselected runs mark rejected shots with ``NaN`` in ``fidelities``
+    (see :func:`~repro.sim.fidelity.shot_fidelities`); every aggregate below
+    is taken over the *kept* shots only, with :attr:`kept_fraction` keeping
+    the discard visible.  Runs without postselection (no ``NaN``) reproduce
+    the historical all-shot aggregates bit for bit.
+    """
 
     fidelities: np.ndarray
     shots: int
 
     @property
+    def kept_shots(self) -> int:
+        """Shots that survived postselection (all of them when none applied)."""
+        return self.shots - int(np.count_nonzero(np.isnan(self.fidelities)))
+
+    @property
+    def kept_fraction(self) -> float:
+        """Fraction of shots kept by postselection: ``1.0`` without any."""
+        return self.kept_shots / self.shots
+
+    @property
     def mean_fidelity(self) -> float:
-        """Mean fidelity over all shots."""
-        return float(np.mean(self.fidelities))
+        """Mean fidelity over the kept shots (``NaN`` when all were rejected)."""
+        kept = self.kept_shots
+        if kept == self.shots:
+            return float(np.mean(self.fidelities))
+        if kept == 0:
+            return float("nan")
+        return float(np.mean(self.fidelities[~np.isnan(self.fidelities)]))
 
     @property
     def std_error(self) -> float:
-        """Standard error of the mean fidelity."""
-        if self.shots <= 1:
+        """Standard error of the mean over the kept shots.
+
+        The ``shots <= 1`` guard extends naturally to postselection: with at
+        most one kept shot there is no sample variance, so the standard
+        error is ``0.0`` -- well-defined even when :attr:`mean_fidelity` is
+        ``NaN`` because nothing was kept.
+        """
+        kept = self.kept_shots
+        if kept == self.shots:
+            if self.shots <= 1:
+                return 0.0
+            return float(np.std(self.fidelities, ddof=1) / np.sqrt(self.shots))
+        if kept <= 1:
             return 0.0
-        return float(np.std(self.fidelities, ddof=1) / np.sqrt(self.shots))
+        values = self.fidelities[~np.isnan(self.fidelities)]
+        return float(np.std(values, ddof=1) / np.sqrt(kept))
 
 
 class FeynmanPathSimulator:
@@ -132,6 +166,25 @@ class FeynmanPathSimulator:
             circuit, state, noise, shots, rng=rng
         )
 
+    def run_noisy_shots_recorded(
+        self,
+        circuit: QuantumCircuit,
+        state: PathState,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | ShotSeeds | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Like :meth:`run_noisy_shots`, plus the recorded measurement outcomes.
+
+        The third element is the classical register of the whole batch --
+        shape ``(num_clbits, shots)`` ``int8``, one row per slot -- or
+        ``None`` when the circuit records nothing.  This is what
+        postselection partitions shots by (see :meth:`query_fidelities`).
+        """
+        return self._resolve_engine().run_noisy_shots_recorded(
+            circuit, state, noise, shots, rng=rng
+        )
+
     def query_fidelities(
         self,
         circuit: QuantumCircuit,
@@ -142,6 +195,7 @@ class FeynmanPathSimulator:
         keep_qubits: list[int] | None = None,
         ideal_output: PathState | None = None,
         rng: np.random.Generator | ShotSeeds | None = None,
+        postselect: tuple[tuple[int, int], ...] | None = None,
     ) -> QueryResult:
         """Monte-Carlo estimate of the query fidelity under ``noise``.
 
@@ -165,11 +219,34 @@ class FeynmanPathSimulator:
             noise parameters over the same circuit).
         rng:
             NumPy random generator for reproducibility.
+        postselect:
+            ``(cbit, expected_outcome)`` pairs to postselect on: a shot is
+            *kept* only when every listed classical slot recorded its
+            expected outcome.  Rejected shots come back as ``NaN`` in
+            :attr:`QueryResult.fidelities` and are excluded from every
+            aggregate, with :attr:`QueryResult.kept_fraction` accounting for
+            them.  ``None`` (or empty) keeps every shot.
         """
         rng = np.random.default_rng() if rng is None else rng
         if ideal_output is None:
             ideal_output = self.run(circuit, input_state)
-        bits, amps = self.run_noisy_shots(circuit, input_state, noise, shots, rng=rng)
+        kept: np.ndarray | None = None
+        if postselect:
+            bits, amps, outcomes = self.run_noisy_shots_recorded(
+                circuit, input_state, noise, shots, rng=rng
+            )
+            if outcomes is None:
+                raise ValueError(
+                    "postselect names classical bits but the circuit records "
+                    "no measurement outcomes"
+                )
+            kept = np.ones(shots, dtype=bool)
+            for cbit, expected in postselect:
+                kept &= outcomes[cbit] == expected
+        else:
+            bits, amps = self.run_noisy_shots(
+                circuit, input_state, noise, shots, rng=rng
+            )
         # Branching circuits may leave more paths per shot than the input had
         # (uncollapsed H branches), so derive the per-shot width from the
         # returned block instead of the input state.
@@ -180,5 +257,6 @@ class FeynmanPathSimulator:
             shots=shots,
             n_paths=bits.shape[0] // shots,
             keep_qubits=keep_qubits,
+            kept=kept,
         )
         return QueryResult(fidelities=fidelities, shots=shots)

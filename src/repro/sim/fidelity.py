@@ -109,6 +109,7 @@ def shot_fidelities(
     shots: int,
     n_paths: int,
     keep_qubits: list[int] | None = None,
+    kept: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-shot fidelities for a vectorised Monte-Carlo block.
 
@@ -118,6 +119,13 @@ def shot_fidelities(
 
     When ``keep_qubits`` is ``None`` the full-state fidelity is computed;
     otherwise the reduced fidelity over ``keep_qubits``.
+
+    ``kept`` partitions the shots by their recorded check outcomes
+    (postselection): a boolean mask of shape ``(shots,)`` whose rejected
+    entries come back as ``NaN`` in the result -- the sentinel every
+    aggregation step (:class:`~repro.sim.feynman.QueryResult`, sweep-shard
+    concatenation) understands, so the rejected shots stay countable instead
+    of silently vanishing.  ``None`` keeps every shot (no postselection).
 
     The reduction is fully vectorised but reproduces the historical per-shot
     dict loop **bit for bit**: overlap terms accumulate in row order within
@@ -162,7 +170,7 @@ def shot_fidelities(
         # One overlap bucket per shot: the traced register set is empty.
         real = np.bincount(shot_of_match, weights=weights.real, minlength=shots)
         imag = np.bincount(shot_of_match, weights=weights.imag, minlength=shots)
-        return np.hypot(real, imag) ** 2
+        return _mask_rejected(np.hypot(real, imag) ** 2, kept)
 
     # Bucket matched rows by (shot, rest-state): prefix the rest key bytes
     # with the shot index so one void-key unique covers both.
@@ -178,4 +186,15 @@ def shot_fidelities(
     # Buckets contribute to their shot in first-appearance order.
     appearance = np.argsort(first_position, kind="stable")
     bucket_shot = shot_of_match[first_position[appearance]]
-    return np.bincount(bucket_shot, weights=squared[appearance], minlength=shots)
+    summed = np.bincount(bucket_shot, weights=squared[appearance], minlength=shots)
+    # bincount ignores the weights dtype when the input is empty (returning
+    # int64 zeros); coerce so the NaN postselection sentinel always fits.
+    return _mask_rejected(summed.astype(np.float64, copy=False), kept)
+
+
+def _mask_rejected(fidelities: np.ndarray, kept: np.ndarray | None) -> np.ndarray:
+    """NaN out the shots a postselection mask rejects (``None`` keeps all)."""
+    if kept is None:
+        return fidelities
+    fidelities[~np.asarray(kept, dtype=bool)] = np.nan
+    return fidelities

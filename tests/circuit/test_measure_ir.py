@@ -89,6 +89,59 @@ class TestClassicalRegister:
         assert tape.num_clbits == 7
         assert tape.num_measurements == 0
 
+    def test_duplicate_slot_rejected(self):
+        """Regression pin: an explicit ``cbit`` colliding with a written slot.
+
+        ``measure`` used to let an explicit ``cbit`` silently reuse a slot an
+        earlier (auto-allocated or explicit) measurement had written,
+        clobbering its outcome in the classical register.
+        """
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.measure(0)  # auto-allocates slot 0
+        with pytest.raises(ValueError, match="already written"):
+            circuit.measure(1, cbit=0)
+
+    def test_auto_allocation_never_collides_with_explicit_slots(self):
+        circuit = QuantumCircuit(num_qubits=2)
+        circuit.measure(0, cbit=1)
+        assert circuit.measure(1) == 2  # continues past the explicit write
+
+    def test_negative_slot_rejected(self):
+        circuit = QuantumCircuit(num_qubits=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            circuit.measure(0, cbit=-1)
+
+    def test_duplicate_slot_rejected_in_constructor(self):
+        instrs = [
+            Instruction(gate="MEASURE", qubits=(0,), params=(0, "Z")),
+            Instruction(gate="MEASURE", qubits=(0,), params=(0, "Z")),
+        ]
+        with pytest.raises(ValueError, match="already written"):
+            QuantumCircuit(num_qubits=1, instructions=instrs)
+
+    def test_rejected_append_leaves_circuit_unchanged(self):
+        circuit = QuantumCircuit(num_qubits=1)
+        circuit.measure(0, cbit=2)
+        before = list(circuit.instructions)
+        with pytest.raises(ValueError, match="already written"):
+            circuit.append(
+                Instruction(gate="MEASURE", qubits=(0,), params=(2, "Z"))
+            )
+        assert circuit.instructions == before
+        assert circuit.num_clbits == 3
+
+    def test_gap_slots_are_legal_and_never_reused(self):
+        """Explicit ``cbit`` gaps count toward ``num_clbits`` and stay unwritten.
+
+        Auto-allocation continues from ``num_clbits``, so slots 0..2 here are
+        gaps: engines zero-fill them (a ``CPAULI`` conditioned on a gap slot
+        never fires) and no later auto-allocated measurement lands in one.
+        """
+        circuit = QuantumCircuit(num_qubits=2)
+        assert circuit.measure(0, cbit=3) == 3
+        assert circuit.measure(1) == 4  # past the gap, not into it
+        assert circuit.num_clbits == 5
+
 
 class TestFusionBarrier:
     def test_measure_breaks_fusion_runs(self):

@@ -91,6 +91,12 @@ def test_architecture_doc_covers_the_contracts():
         "collapse plan",
         "teleport-fused",
         "branch_budget_exceeded",
+        "encode_dual_rail",
+        "kept_fraction",
+        "postselect",
+        "dual-rail-check",
+        "pauli_bias",
+        "run_noisy_shots_recorded",
     ):
         assert required in text, f"ARCHITECTURE.md no longer mentions {required}"
 

@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.hardware import DEVICES, DeviceModel, ibm_perth_like, ibmq_guadalupe_like
-from repro.hardware.devices import grid_device
+from repro.hardware.devices import dual_rail_cavity_like, grid_device
 
 
 class TestDeviceModels:
@@ -27,7 +27,11 @@ class TestDeviceModels:
         assert device.average_degree() == pytest.approx(2.0)
 
     def test_registry(self):
-        assert set(DEVICES) == {"ibm_perth", "ibmq_guadalupe"}
+        assert set(DEVICES) == {
+            "ibm_perth",
+            "ibmq_guadalupe",
+            "dual-rail-cavity",
+        }
 
     def test_distance_and_paths(self):
         device = ibm_perth_like()
@@ -54,3 +58,40 @@ class TestDeviceModels:
         for device in DEVICES.values():
             assert 1e-4 <= device.single_qubit_error <= 1e-2
             assert 1e-3 <= device.two_qubit_error <= 5e-2
+
+
+class TestPauliBias:
+    def test_ibm_devices_are_unbiased(self):
+        """The Figure-12 backends keep the paper's depolarizing model."""
+        assert ibm_perth_like().pauli_bias == (1.0, 1.0, 1.0)
+        assert ibmq_guadalupe_like().pauli_bias == (1.0, 1.0, 1.0)
+
+    def test_cavity_device_is_erasure_biased(self):
+        """X/Y (detectable) dominate Z (logical) on the erasure calibration."""
+        bias = dual_rail_cavity_like().pauli_bias
+        assert bias[0] == bias[1]
+        assert bias[0] > 10 * bias[2] > 0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="three non-negative"):
+            DeviceModel(
+                name="bad", num_qubits=1, coupling_map=(), pauli_bias=(1.0, 1.0)
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="three non-negative"):
+            DeviceModel(
+                name="bad",
+                num_qubits=1,
+                coupling_map=(),
+                pauli_bias=(1.0, -0.5, 1.0),
+            )
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive weight"):
+            DeviceModel(
+                name="bad",
+                num_qubits=1,
+                coupling_map=(),
+                pauli_bias=(0.0, 0.0, 0.0),
+            )

@@ -8,8 +8,9 @@ from repro.hardware import (
     ibm_perth_like,
     scheduled_device_noise_model,
 )
+from repro.hardware.devices import DeviceModel, dual_rail_cavity_like
 from repro.qram import ClassicalMemory, VirtualQRAM
-from repro.sim.noise import ScheduledNoiseModel, iter_error_sites
+from repro.sim.noise import PauliChannel, ScheduledNoiseModel, iter_error_sites
 
 
 class TestDeviceNoiseModel:
@@ -45,6 +46,55 @@ class TestDeviceNoiseModel:
         original = device_noise_model(ibm_perth_like(), error_reduction_factor=100)
         expected = original.gate_error_channels(Instruction(gate="X", qubits=(0,)))[0][1]
         assert channel.p_total == pytest.approx(expected.p_total)
+
+
+class TestPauliBias:
+    def test_unbiased_device_is_bitwise_depolarizing(self):
+        """The (1, 1, 1) default routes through ``PauliChannel.depolarizing``.
+
+        Bit-identity matters: every committed artefact was produced by
+        ``depolarizing(eps)``, and rebuilding the same channel as
+        ``eps * (w / W)`` can land an ulp away.
+        """
+        device = ibm_perth_like()
+        model = device_noise_model(device, error_reduction_factor=3.0)
+        assert model.single_qubit_channel == PauliChannel.depolarizing(
+            device.single_qubit_error / 3.0
+        )
+        assert model.two_qubit_channel == PauliChannel.depolarizing(
+            device.two_qubit_error / 3.0
+        )
+
+    def test_bias_splits_rate_across_paulis(self):
+        device = DeviceModel(
+            name="biased",
+            num_qubits=2,
+            coupling_map=((0, 1),),
+            two_qubit_error=4e-2,
+            pauli_bias=(2.0, 1.0, 1.0),
+        )
+        channel = device_noise_model(device).two_qubit_channel
+        assert channel.p_x == pytest.approx(2e-2)
+        assert channel.p_y == pytest.approx(1e-2)
+        assert channel.p_z == pytest.approx(1e-2)
+
+    def test_bias_preserves_total_rate(self):
+        """Bare-vs-dual ablations compare at equal total error budgets."""
+        biased = device_noise_model(dual_rail_cavity_like())
+        unbiased = device_noise_model(ibm_perth_like())
+        assert biased.single_qubit_channel.p_total == pytest.approx(
+            unbiased.single_qubit_channel.p_total
+        )
+        assert biased.two_qubit_channel.p_total == pytest.approx(
+            unbiased.two_qubit_channel.p_total
+        )
+
+    def test_bias_survives_error_reduction(self):
+        channel = device_noise_model(
+            dual_rail_cavity_like(), error_reduction_factor=10.0
+        ).two_qubit_channel
+        assert channel.p_x == pytest.approx(20 * channel.p_z)
+        assert channel.p_y == pytest.approx(channel.p_x)
 
 
 class TestFidelityImprovesWithBetterHardware:

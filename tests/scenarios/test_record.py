@@ -44,6 +44,9 @@ records = st.builds(
     engine=_names,
     fidelity=_floats,
     std_error=_floats,
+    kept_fraction=st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
 )
 
 
@@ -132,14 +135,35 @@ class TestValidation:
         del payload["fidelity"]
         self._reject(payload, "missing record fields")
 
-    def test_missing_schema_version_is_tolerated(self):
-        """schema_version is the only defaultable field (current version)."""
+    def test_missing_schema_version_rejected(self):
+        """A payload without a version stamp is unverifiable, not current.
+
+        Regression pin: ``from_dict`` used to default a missing
+        ``schema_version`` to the current one, silently blessing truncated
+        or foreign payloads as schema-compatible.
+        """
         payload = dict(self.PAYLOAD)
         del payload["schema_version"]
-        assert (
-            ScenarioRecord.from_dict(payload).schema_version
-            == RECORD_SCHEMA_VERSION
-        )
+        self._reject(payload, "missing record fields.*schema_version")
+
+    def test_missing_kept_fraction_rejected(self):
+        """v1 payloads (no ``kept_fraction``) cannot masquerade as v2."""
+        payload = dict(self.PAYLOAD)
+        del payload["kept_fraction"]
+        self._reject(payload, "missing record fields.*kept_fraction")
+
+    def test_missing_schema_version_reads_as_cache_miss(self, tmp_path):
+        """A stored document whose rows lack the stamp misses, never raises."""
+        from repro.cache.store import ResultCache
+
+        cache = ResultCache(tmp_path)
+        record = TestMappingProtocol.RECORD
+        path = cache.put("ab" * 32, [record])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        for row in document["records"]:
+            del row["schema_version"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get("ab" * 32) is None
 
     def test_stale_schema_version_rejected(self):
         self._reject(
