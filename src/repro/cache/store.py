@@ -1,24 +1,34 @@
 """Content-addressed on-disk store for scenario sweep records.
 
-Layout: ``<root>/<fp[:2]>/<fp>.json`` -- one JSON document per fingerprint,
-sharded by the first hex byte so a hot cache never piles every artefact into
-a single directory.  Each document carries the cache schema version, its own
-fingerprint, and the record rows in ``ScenarioRecord.as_dict()`` form.
+Layout: ``<root>/<fp[:2]>/<fp>.rrec`` + ``<root>/<fp[:2]>/<fp>.json`` --
+one packed binary artefact and one JSON document per fingerprint, sharded
+by the first hex byte so a hot cache never piles every artefact into a
+single directory.  The ``.rrec`` file (see :mod:`repro.records`) is the
+primary backend: reads memory-map it and never parse a JSON record on the
+warm path, and its header tag carries the fingerprint so a renamed
+artefact can never be served under another address.  The JSON document --
+the cache schema version, its own fingerprint, and the record rows in
+``ScenarioRecord.json_dict()`` form (strict JSON: NaN encodes as
+``null``) -- is kept for compatibility: pre-binary caches still hit, and
+the HTTP results route still serves the exact committed document.
 
 Durability contract:
 
-* **Atomic writes.**  Documents are written to a same-directory temp file
-  and ``os.replace``-d into place, so readers (including concurrent server
-  threads and parallel CI jobs) only ever see absent or complete files --
-  never a torn write.  Concurrent writers of the same fingerprint are
-  harmless: both write identical bytes (content addressing) and the last
-  rename wins.
-* **Corruption-tolerant reads.**  Anything unexpected -- unparseable JSON,
-  a schema-version or fingerprint mismatch, record rows that fail
+* **Atomic writes.**  Both artefacts are written to a same-directory temp
+  file and ``os.replace``-d into place, so readers (including concurrent
+  server threads and parallel CI jobs) only ever see absent or complete
+  files -- never a torn write.  Concurrent writers of the same fingerprint
+  are harmless: both write identical bytes (content addressing) and the
+  last rename wins.
+* **Corruption-tolerant reads.**  Anything unexpected -- a
+  :class:`~repro.records.format.RecordFormatError` from the binary reader
+  (truncation, bit flips, stale schema, CRC mismatch), unparseable JSON, a
+  schema-version or fingerprint/tag mismatch, record rows that fail
   ``ScenarioRecord.from_dict`` validation -- reads as a *miss*, never an
-  exception: the caller re-runs and overwrites.  A cache can therefore be
-  truncated, hand-edited or written by a future schema without breaking
-  anyone.
+  exception: a corrupt ``.rrec`` falls back to the JSON document, and only
+  when both fail does the caller re-run and overwrite.  A cache can
+  therefore be truncated, hand-edited or written by a future schema
+  without breaking anyone.
 """
 
 from __future__ import annotations
@@ -27,8 +37,10 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Sequence
 
 from repro.cache.fingerprint import CACHE_SCHEMA_VERSION
+from repro.records import RecordFile, RecordFormatError, merge_record_files, write_records
 from repro.scenarios.record import ScenarioRecord
 
 #: Environment variable naming the cache root.  ``run_scenario(cache=None)``
@@ -57,16 +69,30 @@ class ResultCache:
         return f"ResultCache({str(self.root)!r})"
 
     def path_for(self, fingerprint: str) -> Path:
-        """Where ``fingerprint``'s document lives (whether or not it exists)."""
+        """Where ``fingerprint``'s JSON document lives (existing or not)."""
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def binary_path_for(self, fingerprint: str) -> Path:
+        """Where ``fingerprint``'s packed ``.rrec`` artefact lives."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.rrec"
 
     # ----------------------------------------------------------------- reads
     def get(self, fingerprint: str) -> list[ScenarioRecord] | None:
         """The cached records for ``fingerprint``, or ``None`` on any miss.
 
-        Corrupt, truncated, mislabelled or schema-incompatible documents
-        are misses, not errors (see the module docstring).
+        The packed ``.rrec`` artefact is tried first (mmap read, no JSON
+        parse); its header tag must equal the fingerprint, so a renamed
+        artefact is a miss, not a wrong answer.  A corrupt or absent binary
+        falls back to the JSON document; corrupt, truncated, mislabelled or
+        schema-incompatible documents are misses, not errors (see the
+        module docstring).
         """
+        try:
+            with RecordFile(self.binary_path_for(fingerprint)) as record_file:
+                if record_file.tag == fingerprint:
+                    return record_file.records()
+        except RecordFormatError:
+            pass
         payload = self.get_payload(fingerprint)
         if payload is None:
             return None
@@ -74,6 +100,31 @@ class ResultCache:
             return [ScenarioRecord.from_dict(row) for row in payload["records"]]
         except (ValueError, TypeError):
             return None
+
+    def get_binary(self, fingerprint: str) -> bytes | None:
+        """The validated ``.rrec`` artefact bytes for ``fingerprint``, or ``None``.
+
+        The HTTP ``.rrec`` route serves this without materializing a single
+        record dict.  If the binary artefact is missing or corrupt but the
+        JSON document is intact, the artefact is re-encoded from it (and
+        healed on disk) so pre-binary caches stay fully servable.
+        """
+        try:
+            with RecordFile(self.binary_path_for(fingerprint)) as record_file:
+                if record_file.tag == fingerprint:
+                    return record_file.tobytes()
+        except RecordFormatError:
+            pass
+        payload = self.get_payload(fingerprint)
+        if payload is None:
+            return None
+        try:
+            records = [ScenarioRecord.from_dict(row) for row in payload["records"]]
+        except (ValueError, TypeError):
+            return None
+        path = self._commit_binary(fingerprint, records)
+        with RecordFile(path) as record_file:
+            return record_file.tobytes()
 
     def get_payload(self, fingerprint: str) -> dict | None:
         """The raw validated document for ``fingerprint``, or ``None``.
@@ -98,29 +149,23 @@ class ResultCache:
         return payload
 
     def __contains__(self, fingerprint: str) -> bool:
+        try:
+            with RecordFile(self.binary_path_for(fingerprint)) as record_file:
+                if record_file.tag == fingerprint:
+                    return True
+        except RecordFormatError:
+            pass
         return self.get_payload(fingerprint) is not None
 
     # ---------------------------------------------------------------- writes
-    def put(self, fingerprint: str, records: list[ScenarioRecord]) -> Path:
-        """Atomically commit ``records`` under ``fingerprint``; return the path.
-
-        Serialization is canonical (sorted keys, fixed indentation), so two
-        processes caching the same run write byte-identical documents -- the
-        property the CI warm/cold payload diff asserts end to end.
-        """
-        path = self.path_for(fingerprint)
+    def _replace(self, fingerprint: str, path: Path, blob: bytes) -> Path:
+        """Write ``blob`` to a same-directory temp file and rename onto ``path``."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "schema_version": CACHE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "records": [record.as_dict() for record in records],
-        }
-        blob = json.dumps(document, sort_keys=True, indent=2) + "\n"
         descriptor, temp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
         )
         try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            with os.fdopen(descriptor, "wb") as handle:
                 handle.write(blob)
             os.replace(temp_name, path)
         except BaseException:
@@ -131,16 +176,107 @@ class ResultCache:
             raise
         return path
 
+    def _commit_binary(
+        self, fingerprint: str, records: list[ScenarioRecord]
+    ) -> Path:
+        """Atomically write the ``.rrec`` artefact, tag = fingerprint."""
+        path = self.binary_path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        os.close(descriptor)
+        try:
+            write_records(temp_name, records, tag=fingerprint)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def put(self, fingerprint: str, records: list[ScenarioRecord]) -> Path:
+        """Atomically commit ``records`` under ``fingerprint``.
+
+        Writes both backends -- the packed ``.rrec`` artefact (tagged with
+        the fingerprint) and the JSON document -- and returns the JSON
+        path.  Serialization is canonical on both sides (sorted keys and
+        fixed indentation for JSON, first-seen interning order for binary),
+        so two processes caching the same run write byte-identical
+        artefacts -- the property the CI warm/cold payload diff asserts end
+        to end.  JSON is strict: NaN values encode as ``null``.
+        """
+        self._commit_binary(fingerprint, records)
+        document = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "records": [record.json_dict() for record in records],
+        }
+        blob = json.dumps(document, sort_keys=True, indent=2, allow_nan=False) + "\n"
+        return self._replace(
+            fingerprint, self.path_for(fingerprint), blob.encode("utf-8")
+        )
+
+    def put_shards(
+        self, fingerprint: str, shard_paths: Sequence[str | Path]
+    ) -> Path:
+        """Commit a sweep from its on-disk ``.rrec`` worker shards.
+
+        The shards are merged with the memory-mapped k-way merge (no record
+        is ever decoded), the merged artefact lands under ``fingerprint``
+        with the usual temp-file/rename dance, and the compat JSON document
+        is derived from the merged file.  The committed bytes are identical
+        to ``put(fingerprint, concatenated_records)`` by the merge's
+        byte-identity guarantee.  Returns the ``.rrec`` path.
+        """
+        path = self.binary_path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        os.close(descriptor)
+        try:
+            merge_record_files(shard_paths, temp_name, tag=fingerprint)
+            with RecordFile(temp_name) as record_file:
+                records = record_file.records()
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        document = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "records": [record.json_dict() for record in records],
+        }
+        blob = json.dumps(document, sort_keys=True, indent=2, allow_nan=False) + "\n"
+        self._replace(fingerprint, self.path_for(fingerprint), blob.encode("utf-8"))
+        return path
+
     # ------------------------------------------------------------- inventory
     def fingerprints(self) -> list[str]:
-        """Every fingerprint with a well-formed document, sorted."""
+        """Every fingerprint with a well-formed artefact (either backend), sorted."""
         if not self.root.is_dir():
             return []
-        found = []
+        found = set()
         for path in self.root.glob("??/*.json"):
             fingerprint = path.stem
             if self.get_payload(fingerprint) is not None:
-                found.append(fingerprint)
+                found.add(fingerprint)
+        for path in self.root.glob("??/*.rrec"):
+            fingerprint = path.stem
+            if fingerprint in found:
+                continue
+            try:
+                with RecordFile(path) as record_file:
+                    if record_file.tag == fingerprint:
+                        found.add(fingerprint)
+            except RecordFormatError:
+                pass
         return sorted(found)
 
 

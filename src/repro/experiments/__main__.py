@@ -11,10 +11,14 @@ Usage::
     python -m repro.experiments scenario htree-swap-m3 --workers 4 --out out/
     python -m repro.experiments scenario htree-swap-m3 --router lookahead
     python -m repro.experiments scenario htree-swap-m3 --cache
+    python -m repro.experiments scenario htree-swap-m3 --out out/ --format rrec
 
 Each experiment prints the same rows/series the paper reports (via the
 ``*_report`` helpers) and, when ``--out`` is given, also writes the raw
-records as CSV, JSON and Markdown through :mod:`repro.experiments.export`.
+records through :mod:`repro.experiments.export` -- CSV, JSON and Markdown
+by default, plus the packed binary ``.rrec`` artefact for scenario runs
+(``--format`` narrows the set; multiple scenarios additionally merge into
+one ``scenario_sweep.rrec`` via the memory-mapped shard merge).
 
 ``scenario`` runs named end-to-end configurations from the
 :mod:`repro.scenarios` registry (``--list`` enumerates them); any number of
@@ -47,7 +51,11 @@ from repro.experiments import (
     table1_report,
     table2_report,
 )
-from repro.experiments.export import export_experiment
+from repro.experiments.export import (
+    DEFAULT_EXPORT_FORMATS,
+    EXPORT_FORMATS,
+    export_experiment,
+)
 from repro.hardware.router import (
     available_routers,
     get_default_router,
@@ -206,7 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         type=str,
         default=None,
-        help="directory to write CSV/Markdown records into",
+        help="directory to write record artefacts into",
+    )
+    parser.add_argument(
+        "--format",
+        dest="formats",
+        action="append",
+        choices=sorted(EXPORT_FORMATS) + ["all"],
+        default=None,
+        help="artefact format(s) to write under --out (repeatable; 'all' "
+        "selects every one). Default: csv, json and markdown, plus the "
+        "packed binary 'rrec' for scenario runs. 'rrec' is scenario-only",
     )
     cache_group = parser.add_mutually_exclusive_group()
     cache_group.add_argument(
@@ -225,16 +243,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def resolve_formats(args, *, scenario: bool) -> tuple[str, ...]:
+    """The export formats one run writes, from the ``--format`` flags.
+
+    ``rrec`` requires scenario records (figure runners return plain dicts
+    with no binary schema), so scenario runs default to every format and
+    figure runs to the JSON-family three; asking for ``rrec`` on a figure is
+    a usage error raised here.
+    """
+    if args.formats is None:
+        return EXPORT_FORMATS if scenario else DEFAULT_EXPORT_FORMATS
+    chosen: list[str] = []
+    for entry in args.formats:
+        expansion = (
+            (EXPORT_FORMATS if scenario else DEFAULT_EXPORT_FORMATS)
+            if entry == "all"
+            else (entry,)
+        )
+        for fmt in expansion:
+            if fmt not in chosen:
+                chosen.append(fmt)
+    if "rrec" in chosen and not scenario:
+        raise ValueError(
+            "--format rrec only applies to 'scenario' runs; figure records "
+            "have no binary schema"
+        )
+    return tuple(chosen)
+
+
 def run_experiment(name: str, args) -> None:
     """Run one named experiment and print/export its records."""
     report, records = EXPERIMENTS[name](args)
     print(report)
     if args.out:
-        paths = export_experiment(records, args.out, name)
-        print(
-            f"[{name}] wrote {paths['csv']}, {paths['json']} and "
-            f"{paths['markdown']}"
-        )
+        formats = resolve_formats(args, scenario=False)
+        paths = export_experiment(records, args.out, name, formats=formats)
+        written = ", ".join(str(paths[fmt]) for fmt in paths)
+        print(f"[{name}] wrote {written}")
 
 
 def run_scenarios(args) -> int:
@@ -267,6 +312,8 @@ def run_scenarios(args) -> int:
 
     # Neither flag: cache iff $REPRO_CACHE_DIR is set (see repro.cache.store).
     cache = True if args.cache else (False if args.no_cache else None)
+    formats = resolve_formats(args, scenario=True)
+    shard_paths = []
     for name in args.names:
         try:
             records = run_scenario(
@@ -282,11 +329,25 @@ def run_scenarios(args) -> int:
             return 2
         print(scenario_report(name, records))
         if args.out:
-            paths = export_experiment(records, args.out, f"scenario_{name}")
-            print(
-                f"[scenario {name}] wrote {paths['csv']}, {paths['json']} "
-                f"and {paths['markdown']}"
+            paths = export_experiment(
+                records, args.out, f"scenario_{name}", formats=formats
             )
+            if "rrec" in paths:
+                shard_paths.append(paths["rrec"])
+            written = ", ".join(str(paths[fmt]) for fmt in paths)
+            print(f"[scenario {name}] wrote {written}")
+    if len(shard_paths) > 1:
+        # One merged artefact across every requested scenario, produced by
+        # the mmap k-way merge -- byte-identical to a serial re-encode of
+        # the concatenated records.
+        from pathlib import Path
+
+        from repro.records import merge_record_files
+
+        merged = merge_record_files(
+            shard_paths, Path(args.out) / "scenario_sweep.rrec"
+        )
+        print(f"[scenario] merged {len(shard_paths)} artefacts into {merged}")
     return 0
 
 
@@ -301,6 +362,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.names and args.experiment != "scenario":
         parser.error("positional scenario names are only valid with 'scenario'")
+    try:
+        resolve_formats(args, scenario=args.experiment == "scenario")
+    except ValueError as exc:
+        parser.error(str(exc))
     previous_engine = get_default_engine()
     previous_router = get_default_router()
     if args.engine is not None:

@@ -1,17 +1,28 @@
-"""Exporting experiment records to CSV, JSON and Markdown.
+"""Exporting experiment records to CSV, JSON, Markdown and packed binary.
 
 The experiment runners return lists of plain dictionaries; this module turns
 them into artefacts that can be checked into a paper repository or compared
 across runs: CSV files (one row per record), JSON (for downstream tooling
-and the benchmark regression gates) and Markdown tables (for
-EXPERIMENTS.md-style reports).  Only the standard library is used so exports
-work in any environment the simulator runs in.
+and the benchmark regression gates), Markdown tables (for
+EXPERIMENTS.md-style reports) and -- for scenario records -- the packed
+``.rrec`` binary format of :mod:`repro.records`.  Only the standard library
+plus numpy is needed so exports work in any environment the simulator runs
+in.
+
+Schema strictness: when the CSV column set is *derived* from the records,
+every record must carry exactly those keys -- a record missing a field (or
+smuggling an extra one past a caller-pinned header) raises ``ValueError``
+instead of silently dropping data into empty cells.  Passing ``columns=``
+explicitly selects a projection, which stays permissive by design.  JSON
+export is strict about floats: NaN encodes as ``null`` (the non-standard
+``NaN`` literal never reaches disk).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -34,20 +45,46 @@ def records_to_csv(
 ) -> Path:
     """Write ``records`` to ``path`` as CSV and return the path.
 
-    Missing keys are written as empty cells; the column order defaults to
-    first-seen order across all records.
+    With ``columns=None`` (the default) the header is the first-seen union
+    of the record keys and the schema is *strict*: a record missing any
+    derived column raises ``ValueError`` -- no field is ever silently
+    dropped or blank-filled.  An explicit ``columns=`` sequence selects a
+    projection instead: extra keys are ignored and missing ones render as
+    empty cells.
     """
     if not records:
         raise ValueError("cannot export an empty record list")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    fieldnames = list(columns) if columns is not None else collect_columns(records)
+    if columns is not None:
+        fieldnames = list(columns)
+        rows = [{key: record.get(key, "") for key in fieldnames} for record in records]
+    else:
+        fieldnames = collect_columns(records)
+        rows = []
+        for index, record in enumerate(records):
+            missing = [key for key in fieldnames if key not in record]
+            if missing:
+                raise ValueError(
+                    f"record {index} is missing fields {missing} present in "
+                    "other records; pass columns= to project a subset "
+                    "explicitly"
+                )
+            rows.append({key: record[key] for key in fieldnames})
     with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
         writer.writeheader()
-        for record in records:
-            writer.writerow({key: record.get(key, "") for key in fieldnames})
+        writer.writerows(rows)
     return path
+
+
+def _null_nan(record: Mapping[str, object]) -> dict[str, object]:
+    """A copy of ``record`` with float NaN values replaced by ``None``."""
+    copied = {}
+    for key in record:
+        value = record[key]
+        copied[key] = None if isinstance(value, float) and math.isnan(value) else value
+    return copied
 
 
 def records_to_json(
@@ -58,16 +95,49 @@ def records_to_json(
 
     Keys are sorted and the layout is fixed so two runs of the same sweep
     produce byte-identical files -- the property the CI determinism gate
-    diffs on.
+    diffs on.  Strict JSON: NaN values (an all-rejected postselected point's
+    fidelity) encode as ``null``, never as the non-standard ``NaN`` literal.
     """
     if not records:
         raise ValueError("cannot export an empty record list")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump([dict(record) for record in records], handle, indent=2, sort_keys=True)
+        json.dump(
+            [_null_nan(record) for record in records],
+            handle,
+            indent=2,
+            sort_keys=True,
+            allow_nan=False,
+        )
         handle.write("\n")
     return path
+
+
+def records_to_binary(
+    records: Sequence[Mapping[str, object]],
+    path: str | Path,
+    *,
+    tag: str = "",
+) -> Path:
+    """Write scenario ``records`` to ``path`` as a packed ``.rrec`` file.
+
+    Records must be :class:`~repro.scenarios.record.ScenarioRecord` rows (or
+    mappings validating through ``ScenarioRecord.from_dict``); anything else
+    raises :class:`~repro.records.format.RecordFormatError`.  The bytes are
+    a pure function of ``(records, tag)``, so the CI determinism diff can
+    compare the artefact across worker counts directly.
+    """
+    # Imported lazily: repro.records serializes the scenario-record schema,
+    # and repro.scenarios pulls this module in through the experiment
+    # runners, so a module-level import would be circular.
+    from repro.records import write_records
+
+    if not records:
+        raise ValueError("cannot export an empty record list")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return write_records(path, records, tag=tag)
 
 
 def records_to_markdown(
@@ -95,19 +165,44 @@ def records_to_markdown(
     return "\n".join([header, separator, *rows])
 
 
+#: Formats ``export_experiment`` understands; ``rrec`` is scenario-only.
+EXPORT_FORMATS = ("csv", "json", "markdown", "rrec")
+
+#: What ``export_experiment`` writes when no formats are requested.
+DEFAULT_EXPORT_FORMATS = ("csv", "json", "markdown")
+
+
 def export_experiment(
     records: Sequence[Mapping[str, object]],
     output_directory: str | Path,
     name: str,
+    *,
+    formats: Sequence[str] | None = None,
 ) -> dict[str, Path]:
-    """Write CSV, JSON and Markdown renderings of one experiment's records.
+    """Write the requested renderings of one experiment's records.
 
-    Returns the mapping ``{"csv": path, "json": path, "markdown": path}``.
+    ``formats`` is a subset of :data:`EXPORT_FORMATS` (default: CSV, JSON
+    and Markdown); ``"rrec"`` additionally writes the packed binary artefact
+    and is only valid for scenario records.  Returns the mapping from format
+    name to written path, in :data:`EXPORT_FORMATS` order.
     """
+    chosen = tuple(formats) if formats is not None else DEFAULT_EXPORT_FORMATS
+    unknown = sorted(set(chosen) - set(EXPORT_FORMATS))
+    if unknown:
+        raise ValueError(
+            f"unknown export formats {unknown}; choose from {EXPORT_FORMATS}"
+        )
     output_directory = Path(output_directory)
     output_directory.mkdir(parents=True, exist_ok=True)
-    csv_path = records_to_csv(records, output_directory / f"{name}.csv")
-    json_path = records_to_json(records, output_directory / f"{name}.json")
-    markdown_path = output_directory / f"{name}.md"
-    markdown_path.write_text(records_to_markdown(records) + "\n", encoding="utf-8")
-    return {"csv": csv_path, "json": json_path, "markdown": markdown_path}
+    paths: dict[str, Path] = {}
+    if "csv" in chosen:
+        paths["csv"] = records_to_csv(records, output_directory / f"{name}.csv")
+    if "json" in chosen:
+        paths["json"] = records_to_json(records, output_directory / f"{name}.json")
+    if "markdown" in chosen:
+        markdown_path = output_directory / f"{name}.md"
+        markdown_path.write_text(records_to_markdown(records) + "\n", encoding="utf-8")
+        paths["markdown"] = markdown_path
+    if "rrec" in chosen:
+        paths["rrec"] = records_to_binary(records, output_directory / f"{name}.rrec")
+    return paths

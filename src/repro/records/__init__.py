@@ -1,0 +1,44 @@
+"""``repro.records``: the packed binary scenario-record store.
+
+The versioned ``.rrec`` format (magic, container format version, the live
+``RECORD_SCHEMA_VERSION``, a self-describing field table, fixed-width
+packed rows with string interning for the categorical columns, and a
+whole-file CRC-32) replaces JSON record lists wherever parse and merge
+cost matters at sweep scale:
+
+* :class:`~repro.records.writer.RecordWriter` / :func:`write_records` --
+  append-only encoding, byte-deterministic for a given record sequence;
+* :class:`~repro.records.reader.RecordFile` / :func:`read_records` --
+  zero-copy memory-mapped reads, every structural invariant (including the
+  CRC) validated before the first row decodes;
+* :func:`~repro.records.merge.merge_record_files` -- mmap k-way shard
+  merge, bit-identical to a serial re-encode of the concatenated records;
+* :class:`~repro.records.format.RecordFormatError` -- the single typed
+  error for every malformed input, which the result cache maps to a miss.
+
+Every byte of the format is pinned by the differential and fuzz suites
+under ``tests/records/`` and throughput-gated by
+``benchmarks/bench_records.py``.
+"""
+
+from repro.records.format import (
+    MAGIC,
+    RECORD_FORMAT_VERSION,
+    RecordFormatError,
+    schema_fields,
+)
+from repro.records.merge import merge_record_files
+from repro.records.reader import RecordFile, read_records
+from repro.records.writer import RecordWriter, write_records
+
+__all__ = [
+    "MAGIC",
+    "RECORD_FORMAT_VERSION",
+    "RecordFile",
+    "RecordFormatError",
+    "RecordWriter",
+    "merge_record_files",
+    "read_records",
+    "schema_fields",
+    "write_records",
+]

@@ -1,0 +1,249 @@
+"""Zero-copy memory-mapped reader for ``.rrec`` packed record files.
+
+:class:`RecordFile` maps the file once, validates *everything* up front --
+magic, format and schema versions, the field table against the live
+:class:`~repro.scenarios.record.ScenarioRecord` schema, section bounds, the
+string-interning table, every intern index, and the trailing CRC-32 -- and
+then exposes the rows lazily: ``record_file[i]`` materializes one
+:class:`~repro.scenarios.record.ScenarioRecord` (the same read-only mapping
+protocol every exporter already consumes) straight off the mapping, and
+``record_file.rows`` is the raw ``(row_count, field_count)`` int64 matrix
+view the k-way shard merge copies without ever decoding a record.
+
+Any violation raises :class:`~repro.records.format.RecordFormatError`
+during construction; once a :class:`RecordFile` exists, every row decode is
+guaranteed to succeed.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.records.format import (
+    FIELD_WIDTH,
+    HEADER_STRUCT,
+    MAGIC,
+    RECORD_FORMAT_VERSION,
+    TYPE_FLOAT,
+    TYPE_STR,
+    RecordFormatError,
+    schema_fields,
+)
+from repro.scenarios.record import RECORD_SCHEMA_VERSION, ScenarioRecord
+
+_U32 = struct.Struct("<I")
+
+
+class RecordFile:
+    """A validated, memory-mapped ``.rrec`` file of scenario records.
+
+    Sequence protocol: ``len(rf)``, ``rf[i]`` (negative indices and slices
+    included), iteration.  Also usable as a context manager; :meth:`close`
+    releases the mapping.  :attr:`strings` is the file's interning table
+    and :attr:`rows` the packed int64 row matrix -- the merge path's inputs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fields = schema_fields()
+        self._mm: mmap.mmap | None = None
+        self._handle = None
+        try:
+            self._handle = self.path.open("rb")
+        except OSError as exc:
+            raise RecordFormatError(f"cannot open {self.path}: {exc}") from exc
+        try:
+            self._mm = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as exc:
+            self._handle.close()
+            self._handle = None
+            raise RecordFormatError(
+                f"{self.path} is empty or unmappable: {exc}"
+            ) from exc
+        try:
+            self._parse()
+        except RecordFormatError:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------ validation
+    def _fail(self, reason: str) -> RecordFormatError:
+        return RecordFormatError(f"{self.path}: {reason}")
+
+    def _parse(self) -> None:
+        mm = self._mm
+        size = len(mm)
+        if size < HEADER_STRUCT.size + _U32.size + _U32.size:
+            raise self._fail(f"truncated: {size} bytes is smaller than any valid file")
+        magic, fmt_version, schema_version, field_count, reserved, row_count = (
+            HEADER_STRUCT.unpack_from(mm, 0)
+        )
+        if magic != MAGIC:
+            raise self._fail(f"bad magic {magic!r}, expected {MAGIC!r}")
+        if fmt_version != RECORD_FORMAT_VERSION:
+            raise self._fail(
+                f"format version {fmt_version} != supported {RECORD_FORMAT_VERSION}"
+            )
+        if schema_version != RECORD_SCHEMA_VERSION:
+            raise self._fail(
+                f"record schema version {schema_version} != "
+                f"current {RECORD_SCHEMA_VERSION}"
+            )
+        if reserved != 0:
+            raise self._fail(f"reserved header word is {reserved}, expected 0")
+        offset = HEADER_STRUCT.size
+        if offset + 2 > size:
+            raise self._fail("truncated tag")
+        (tag_length,) = struct.unpack_from("<H", mm, offset)
+        offset += 2
+        if offset + tag_length > size:
+            raise self._fail("truncated tag")
+        try:
+            self.tag = mm[offset : offset + tag_length].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise self._fail(f"undecodable tag: {exc}") from None
+        offset += tag_length
+        table: list[tuple[str, int]] = []
+        for _ in range(field_count):
+            if offset + 1 > size:
+                raise self._fail("truncated field table")
+            name_length = mm[offset]
+            offset += 1
+            if offset + name_length + 1 > size:
+                raise self._fail("truncated field table")
+            try:
+                name = mm[offset : offset + name_length].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise self._fail(f"undecodable field name: {exc}") from None
+            offset += name_length
+            table.append((name, mm[offset]))
+            offset += 1
+        if tuple(table) != self._fields:
+            raise self._fail(
+                f"field table {table!r} does not match the current "
+                f"record schema {self._fields!r}"
+            )
+        row_bytes = row_count * FIELD_WIDTH * field_count
+        rows_offset = offset
+        offset += row_bytes
+        if offset + _U32.size + _U32.size > size:
+            raise self._fail("truncated row block")
+        (string_count,) = _U32.unpack_from(mm, offset)
+        offset += _U32.size
+        strings: list[str] = []
+        for _ in range(string_count):
+            if offset + _U32.size > size:
+                raise self._fail("truncated string table")
+            (length,) = _U32.unpack_from(mm, offset)
+            offset += _U32.size
+            if offset + length + _U32.size > size:
+                raise self._fail("truncated string table")
+            try:
+                strings.append(mm[offset : offset + length].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise self._fail(f"undecodable interned string: {exc}") from None
+            offset += length
+        if offset + _U32.size != size:
+            raise self._fail(
+                f"{size - offset - _U32.size} bytes of trailing garbage after "
+                "the string table"
+            )
+        (stored_crc,) = _U32.unpack_from(mm, offset)
+        computed = zlib.crc32(memoryview(mm)[:offset]) & 0xFFFFFFFF
+        if computed != stored_crc:
+            raise self._fail(
+                f"CRC mismatch: stored {stored_crc:#010x}, "
+                f"computed {computed:#010x}"
+            )
+        self.strings: tuple[str, ...] = tuple(strings)
+        count = row_count * field_count
+        ints = np.frombuffer(mm, dtype="<i8", count=count, offset=rows_offset)
+        self._ints = ints.reshape(row_count, field_count)
+        self._floats = ints.view("<f8").reshape(row_count, field_count)
+        for column, (name, code) in enumerate(self._fields):
+            if code != TYPE_STR or row_count == 0:
+                continue
+            indices = self._ints[:, column]
+            if ((indices < 0) | (indices >= len(strings))).any():
+                raise self._fail(
+                    f"string column {name!r} holds an out-of-range intern index"
+                )
+
+    # -------------------------------------------------------------- protocol
+    @property
+    def rows(self) -> np.ndarray:
+        """The packed ``(row_count, field_count)`` int64 matrix (mmap view)."""
+        return self._ints
+
+    def __len__(self) -> int:
+        return self._ints.shape[0]
+
+    def _decode(self, index: int) -> ScenarioRecord:
+        values: dict[str, object] = {}
+        for column, (name, code) in enumerate(self._fields):
+            if code == TYPE_FLOAT:
+                values[name] = float(self._floats[index, column])
+            elif code == TYPE_STR:
+                values[name] = self.strings[self._ints[index, column]]
+            else:
+                values[name] = int(self._ints[index, column])
+        return ScenarioRecord(**values)
+
+    def __getitem__(
+        self, index: int | slice
+    ) -> "ScenarioRecord | list[ScenarioRecord]":
+        if isinstance(index, slice):
+            return [self._decode(i) for i in range(*index.indices(len(self)))]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"record index {index} out of range ({length} rows)")
+        return self._decode(index)
+
+    def __iter__(self) -> Iterator[ScenarioRecord]:
+        for index in range(len(self)):
+            yield self._decode(index)
+
+    def records(self) -> list[ScenarioRecord]:
+        """Decode every row into a fresh list (the JSON-parity escape hatch)."""
+        return list(self)
+
+    def tobytes(self) -> bytes:
+        """The complete validated file bytes, read off the mapping.
+
+        This is what the HTTP artefact route serves: the exact bytes the
+        writer committed, guaranteed well-formed by construction, with no
+        per-record dict ever materialized.
+        """
+        return bytes(self._mm)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the numpy views, the mapping and the file handle."""
+        self._ints = None
+        self._floats = None
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RecordFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_records(path: str | Path) -> list[ScenarioRecord]:
+    """Decode a ``.rrec`` file into records (validates, reads, closes)."""
+    with RecordFile(path) as record_file:
+        return record_file.records()

@@ -18,6 +18,8 @@ current ones.
 from __future__ import annotations
 
 import json
+import math
+import operator
 from dataclasses import dataclass, fields
 from typing import Iterator
 
@@ -75,6 +77,62 @@ class ScenarioRecord:
     kept_fraction: float = 1.0
     schema_version: int = RECORD_SCHEMA_VERSION
 
+    def __post_init__(self) -> None:
+        """Canonicalize value types so equal records serialize identically.
+
+        Float fields are coerced through ``float`` (an integer-valued
+        ``10`` and ``10.0`` must produce the same JSON bytes and the same
+        packed binary row), int fields through ``__index__`` (accepting
+        numpy integers, rejecting floats), and string fields must be
+        ``str``.  Anything uncoercible raises ``ValueError``/``TypeError``,
+        which the cache's corruption-tolerant readers treat as a miss.
+        """
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.type == "float":
+                object.__setattr__(self, field.name, float(value))
+            elif field.type == "int":
+                object.__setattr__(self, field.name, operator.index(value))
+            elif not isinstance(value, str):
+                raise ValueError(
+                    f"record field {field.name!r} must be a string, "
+                    f"got {type(value).__name__}"
+                )
+
+    # ------------------------------------------------------------- equality
+    def __eq__(self, other: object) -> bool:
+        """Field-wise equality, NaN-aware.
+
+        An all-rejected postselected point has ``fidelity = NaN``; two such
+        records are the *same result*, so NaN compares equal to NaN here
+        (per field, both sides float).  This is what lets
+        ``decode(encode(records)) == records`` hold for every record the
+        pipeline can produce, not just the finite ones.
+        """
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        for key in self.keys():
+            mine, theirs = getattr(self, key), getattr(other, key)
+            if mine == theirs:
+                continue
+            if not (
+                isinstance(mine, float)
+                and isinstance(theirs, float)
+                and math.isnan(mine)
+                and math.isnan(theirs)
+            ):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        """Hash consistent with the NaN-aware ``__eq__`` (NaN canonicalized)."""
+        return hash(
+            tuple(
+                "nan" if isinstance(value, float) and math.isnan(value) else value
+                for value in (getattr(self, key) for key in self.keys())
+            )
+        )
+
     # ------------------------------------------------------- mapping protocol
     def keys(self) -> tuple[str, ...]:
         """Field names in declaration order (the export column order)."""
@@ -103,12 +161,30 @@ class ScenarioRecord:
 
     # --------------------------------------------------------- serialization
     def as_dict(self) -> dict[str, object]:
-        """Plain ``dict`` escape hatch, in field order."""
+        """Plain ``dict`` escape hatch, in field order (NaN kept as NaN)."""
         return {key: getattr(self, key) for key in self.keys()}
 
+    def json_dict(self) -> dict[str, object]:
+        """:meth:`as_dict` with NaN encoded as ``None`` -- the JSON view.
+
+        ``json.dumps`` would otherwise emit the non-standard ``NaN``
+        literal (invalid JSON: strict parsers and every HTTP client
+        reject it).  The canonical encoding is ``null``;
+        :meth:`from_dict` maps it back to NaN for float fields, so the
+        round trip is lossless for all-rejected postselected points.
+        """
+        return {
+            key: None
+            if isinstance(value, float) and math.isnan(value)
+            else value
+            for key, value in self.as_dict().items()
+        }
+
     def to_json(self) -> str:
-        """Canonical JSON: sorted keys, no whitespace -- the cached bytes."""
-        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        """Canonical strict JSON: sorted keys, no whitespace, NaN as ``null``."""
+        return json.dumps(
+            self.json_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "ScenarioRecord":
@@ -136,9 +212,21 @@ class ScenarioRecord:
                 f"record schema_version {version!r} != "
                 f"current {RECORD_SCHEMA_VERSION}"
             )
-        return cls(**payload)
+        decoded = {
+            key: math.nan
+            if value is None and key in _FLOAT_FIELDS
+            else value
+            for key, value in payload.items()
+        }
+        return cls(**decoded)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioRecord":
         """Inverse of :meth:`to_json` (same validation as :meth:`from_dict`)."""
         return cls.from_dict(json.loads(text))
+
+
+#: Float-typed field names: the ones whose JSON ``null`` decodes to NaN.
+_FLOAT_FIELDS = frozenset(
+    field.name for field in fields(ScenarioRecord) if field.type == "float"
+)

@@ -9,6 +9,7 @@ Route table (all JSON, all wrapped in the envelope of
     GET  /api/v1/scenarios            registry listing (name, description, spec)
     GET  /api/v1/scenarios/<name>     one registered spec
     GET  /api/v1/results/<fp>         cached records by content address
+    GET  /api/v1/results/<fp>.rrec    the packed binary artefact (raw bytes)
     POST /api/v1/runs                 submit a run -> job id + fingerprint
     GET  /api/v1/jobs/<id>            poll a submission's lifecycle state
 
@@ -20,7 +21,9 @@ wires it to real connections plus the background
 :class:`~repro.server.jobs.JobWorker`.
 
 Serving model: hot scenarios are O(1) content-addressed file reads
-(``GET /results/<fingerprint>`` never computes anything); cold ones queue
+(``GET /results/<fingerprint>`` never computes anything, and the ``.rrec``
+variant streams the memory-mapped binary artefact without materializing a
+single record dict); cold ones queue
 through ``POST /runs`` onto the deterministic sharded runner, and because
 results are pure functions of their fingerprinted inputs, any number of
 servers may share one ``$REPRO_CACHE_DIR``.
@@ -44,6 +47,7 @@ from repro.server.jobs import JobTable, JobWorker
 from repro.server.responses import (
     API_PREFIX,
     API_VERSION,
+    RawResponse,
     encode,
     error_envelope,
     ok_envelope,
@@ -70,7 +74,7 @@ class ScenarioService:
         self.worker: JobWorker | None = None
 
     # -------------------------------------------------------------- dispatch
-    def handle_get(self, path: str) -> tuple[int, dict]:
+    def handle_get(self, path: str) -> "tuple[int, dict | RawResponse]":
         """Route one GET request path."""
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if not path.startswith(API_PREFIX):
@@ -144,7 +148,9 @@ class ScenarioService:
             }
         )
 
-    def _get_result(self, fingerprint: str) -> tuple[int, dict]:
+    def _get_result(self, fingerprint: str) -> "tuple[int, dict | RawResponse]":
+        if fingerprint.endswith(".rrec"):
+            return self._get_result_binary(fingerprint[: -len(".rrec")])
         if not _FINGERPRINT.match(fingerprint):
             return 400, error_envelope(
                 "invalid_request",
@@ -158,6 +164,22 @@ class ScenarioService:
                 f"POST {API_PREFIX}/runs",
             )
         return 200, ok_envelope(payload)
+
+    def _get_result_binary(self, fingerprint: str) -> "tuple[int, dict | RawResponse]":
+        """The packed ``.rrec`` artefact, streamed straight off the cache mmap."""
+        if not _FINGERPRINT.match(fingerprint):
+            return 400, error_envelope(
+                "invalid_request",
+                "a result fingerprint is 64 lowercase hex characters",
+            )
+        blob = self.cache.get_binary(fingerprint)
+        if blob is None:
+            return 404, error_envelope(
+                "not_found",
+                f"no cached result {fingerprint}; submit it via "
+                f"POST {API_PREFIX}/runs",
+            )
+        return 200, RawResponse(blob)
 
     def _get_job(self, job_id: str) -> tuple[int, dict]:
         job = self.jobs.get(job_id)
@@ -251,10 +273,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length) if length else b""
         self._respond(*self.service.handle_post(self.path, body))
 
-    def _respond(self, status: int, envelope: dict) -> None:
-        blob = encode(envelope)
+    def _respond(self, status: int, payload: "dict | RawResponse") -> None:
+        if isinstance(payload, RawResponse):
+            blob = payload.body
+            content_type = payload.content_type
+        else:
+            blob = encode(payload)
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)

@@ -13,11 +13,19 @@ so clients branch on structure, not on per-endpoint conventions:
 ``method_not_allowed``); ``message`` is human-readable and may change
 freely.  The envelope's ``api_version`` matches the route prefix
 (``/api/v1/...``), so a future ``v2`` can change either independently.
+
+Envelope JSON is *strict*: serialization refuses the non-standard ``NaN``
+/ ``Infinity`` literals (records encode NaN as ``null``), so every body is
+parseable by any conforming JSON client.  The one non-envelope case is
+:class:`RawResponse` -- a pre-encoded byte body with its own content type,
+used by the binary ``.rrec`` artefact route, where the payload is a
+memory-mapped file, not a JSON document.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 
 #: The API version stamped into every envelope and every route prefix.
 API_VERSION = "v1"
@@ -40,6 +48,26 @@ def error_envelope(code: str, message: str) -> dict[str, object]:
     }
 
 
+@dataclass(frozen=True)
+class RawResponse:
+    """A non-JSON response body: raw bytes plus their content type.
+
+    Service routes normally return envelope dicts; a route that serves a
+    binary artefact (``GET .../results/<fp>.rrec``) returns one of these
+    instead and the transport writes the bytes verbatim -- errors on such
+    routes still come back as ordinary JSON envelopes.
+    """
+
+    body: bytes
+    content_type: str = field(default="application/octet-stream")
+
+
 def encode(payload: dict[str, object]) -> bytes:
-    """Serialize an envelope to the canonical wire bytes (sorted keys)."""
-    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+    """Serialize an envelope to the canonical wire bytes (sorted keys).
+
+    Strict JSON: a stray ``float('nan')`` in an envelope raises rather
+    than emitting the ``NaN`` literal no standard parser accepts.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, indent=2, allow_nan=False) + "\n"
+    ).encode("utf-8")

@@ -86,19 +86,25 @@ class TestCorruptionTolerance:
         cache.put(FP, [_record()])
         return cache
 
-    def test_truncated_json_is_a_miss(self, tmp_path):
+    def _commit_json_only(self, tmp_path) -> ResultCache:
+        """Commit, then drop the binary artefact to isolate the JSON path."""
         cache = self._commit(tmp_path)
+        cache.binary_path_for(FP).unlink()
+        return cache
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        cache = self._commit_json_only(tmp_path)
         path = cache.path_for(FP)
         path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
         assert cache.get(FP) is None
 
     def test_non_json_garbage_is_a_miss(self, tmp_path):
-        cache = self._commit(tmp_path)
+        cache = self._commit_json_only(tmp_path)
         cache.path_for(FP).write_bytes(b"\x00\xff not json")
         assert cache.get(FP) is None
 
     def test_wrong_schema_version_is_a_miss(self, tmp_path):
-        cache = self._commit(tmp_path)
+        cache = self._commit_json_only(tmp_path)
         payload = json.loads(cache.path_for(FP).read_text())
         payload["schema_version"] = CACHE_SCHEMA_VERSION + 1
         cache.path_for(FP).write_text(json.dumps(payload))
@@ -112,30 +118,121 @@ class TestCorruptionTolerance:
         os.replace(cache.path_for(FP), target)
         assert cache.get(OTHER_FP) is None
 
-    def test_invalid_record_rows_are_a_miss(self, tmp_path):
+    def test_renamed_binary_artefact_is_a_miss(self, tmp_path):
+        """The .rrec tag pins the fingerprint: renaming must not serve it."""
         cache = self._commit(tmp_path)
+        target = cache.binary_path_for(OTHER_FP)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(cache.binary_path_for(FP), target)
+        assert cache.get(OTHER_FP) is None
+        assert cache.get_binary(OTHER_FP) is None
+        assert OTHER_FP not in cache
+
+    def test_invalid_record_rows_are_a_miss(self, tmp_path):
+        cache = self._commit_json_only(tmp_path)
         payload = json.loads(cache.path_for(FP).read_text())
         payload["records"][0]["surprise"] = 1
         cache.path_for(FP).write_text(json.dumps(payload))
         assert cache.get(FP) is None
 
     def test_non_dict_document_is_a_miss(self, tmp_path):
-        cache = self._commit(tmp_path)
+        cache = self._commit_json_only(tmp_path)
         cache.path_for(FP).write_text(json.dumps([1, 2, 3]))
         assert cache.get(FP) is None
 
     def test_records_not_a_list_is_a_miss(self, tmp_path):
-        cache = self._commit(tmp_path)
+        cache = self._commit_json_only(tmp_path)
         payload = json.loads(cache.path_for(FP).read_text())
         payload["records"] = {"oops": 1}
         cache.path_for(FP).write_text(json.dumps(payload))
         assert cache.get(FP) is None
 
     def test_corrupt_neighbour_does_not_hide_good_documents(self, tmp_path):
-        cache = self._commit(tmp_path)
+        cache = self._commit_json_only(tmp_path)
         cache.put(OTHER_FP, [_record()])
         cache.path_for(FP).write_text("garbage")
         assert cache.fingerprints() == [OTHER_FP]
+
+
+class TestBinaryBackend:
+    def _records(self):
+        return [_record(), _record(error_reduction_factor=10.0, fidelity=0.9)]
+
+    def test_put_writes_both_artefacts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, self._records())
+        assert cache.path_for(FP).is_file()
+        assert cache.binary_path_for(FP).is_file()
+        assert cache.binary_path_for(FP) == tmp_path / FP[:2] / f"{FP}.rrec"
+
+    def test_binary_artefact_is_tagged_with_the_fingerprint(self, tmp_path):
+        from repro.records import RecordFile
+
+        cache = ResultCache(tmp_path)
+        cache.put(FP, self._records())
+        with RecordFile(cache.binary_path_for(FP)) as record_file:
+            assert record_file.tag == FP
+            assert record_file.records() == self._records()
+
+    def test_binary_survives_json_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        records = self._records()
+        cache.put(FP, records)
+        cache.path_for(FP).write_text("garbage")
+        assert cache.get(FP) == records
+        assert FP in cache
+        assert cache.fingerprints() == [FP]
+
+    def test_corrupt_binary_falls_back_to_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        records = self._records()
+        cache.put(FP, records)
+        path = cache.binary_path_for(FP)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # break the CRC footer
+        path.write_bytes(bytes(blob))
+        assert cache.get(FP) == records
+
+    def test_both_artefacts_corrupt_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, self._records())
+        cache.path_for(FP).write_text("garbage")
+        cache.binary_path_for(FP).write_bytes(b"\x00" * 64)
+        assert cache.get(FP) is None
+        assert cache.get_binary(FP) is None
+        assert FP not in cache
+
+    def test_get_binary_serves_the_committed_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP, self._records())
+        assert cache.get_binary(FP) == cache.binary_path_for(FP).read_bytes()
+
+    def test_get_binary_heals_from_the_json_document(self, tmp_path):
+        """A pre-binary cache (JSON only) is re-encoded and served."""
+        cache = ResultCache(tmp_path)
+        cache.put(FP, self._records())
+        expected = cache.binary_path_for(FP).read_bytes()
+        cache.binary_path_for(FP).unlink()
+        assert cache.get_binary(FP) == expected
+        assert cache.binary_path_for(FP).is_file()
+
+    def test_put_shards_commits_the_merged_artefact(self, tmp_path):
+        from repro.records import write_records
+
+        cache = ResultCache(tmp_path)
+        records = self._records()
+        first = tmp_path / "shard-0.rrec"
+        second = tmp_path / "shard-1.rrec"
+        write_records(first, records[:1])
+        write_records(second, records[1:])
+        path = cache.put_shards(FP, [first, second])
+        assert path == cache.binary_path_for(FP)
+        assert cache.get(FP) == records
+        # Byte-identical to the record-list commit of the same run.
+        direct = ResultCache(tmp_path / "direct")
+        direct.put(FP, records)
+        assert path.read_bytes() == direct.binary_path_for(FP).read_bytes()
+        assert cache.path_for(FP).read_bytes() == direct.path_for(FP).read_bytes()
 
 
 class TestResolveCache:

@@ -97,6 +97,13 @@ def test_architecture_doc_covers_the_contracts():
         "dual-rail-check",
         "pauli_bias",
         "run_noisy_shots_recorded",
+        ".rrec",
+        "RECORD_FORMAT_VERSION",
+        "RecordFormatError",
+        "CRC-32",
+        "merge_record_files",
+        "put_shards",
+        "byte-identical",
     ):
         assert required in text, f"ARCHITECTURE.md no longer mentions {required}"
 

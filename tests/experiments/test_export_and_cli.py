@@ -18,24 +18,44 @@ RECORDS = [
     {"m": 2, "fidelity": 0.942, "error": "Z", "note": "extra column"},
 ]
 
+#: Schema-consistent rows for the strict (derived-column) CSV path.
+UNIFORM_RECORDS = [
+    {"m": 1, "fidelity": 0.991, "error": "Z"},
+    {"m": 2, "fidelity": 0.942, "error": "X"},
+]
+
 
 class TestExport:
     def test_collect_columns_order(self):
         assert collect_columns(RECORDS) == ["m", "fidelity", "error", "note"]
 
     def test_csv_round_trip(self, tmp_path):
-        path = records_to_csv(RECORDS, tmp_path / "out.csv")
+        path = records_to_csv(UNIFORM_RECORDS, tmp_path / "out.csv")
         with path.open() as handle:
             rows = list(csv.DictReader(handle))
         assert len(rows) == 2
         assert rows[0]["m"] == "1"
-        assert rows[0]["note"] == ""
-        assert rows[1]["note"] == "extra column"
+        assert rows[1]["error"] == "X"
+
+    def test_csv_derived_columns_reject_missing_fields(self, tmp_path):
+        """Regression pin: heterogeneous records used to blank-fill (and a
+        caller-unknown field could silently vanish via extrasaction). A
+        derived header now demands every record carry every column."""
+        with pytest.raises(ValueError, match="missing fields.*note"):
+            records_to_csv(RECORDS, tmp_path / "out.csv")
 
     def test_csv_custom_columns(self, tmp_path):
         path = records_to_csv(RECORDS, tmp_path / "out.csv", columns=["m", "fidelity"])
         header = path.read_text().splitlines()[0]
         assert header == "m,fidelity"
+
+    def test_csv_custom_columns_keep_projection_semantics(self, tmp_path):
+        """Explicit columns= stays permissive: missing keys render empty."""
+        path = records_to_csv(RECORDS, tmp_path / "out.csv", columns=["m", "note"])
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["note"] == ""
+        assert rows[1]["note"] == "extra column"
 
     def test_empty_records_rejected(self, tmp_path):
         with pytest.raises(ValueError):
@@ -51,7 +71,7 @@ class TestExport:
         assert len(lines) == 4
 
     def test_export_experiment_writes_both(self, tmp_path):
-        paths = export_experiment(RECORDS, tmp_path / "results", "fig9")
+        paths = export_experiment(UNIFORM_RECORDS, tmp_path / "results", "fig9")
         assert paths["csv"].exists()
         assert paths["markdown"].exists()
         assert "| m |" in paths["markdown"].read_text()
@@ -162,6 +182,103 @@ class TestCommandLine:
         assert main(["fig9", "--quick", "--shots", "4", "--engine", "statevector"]) == 2
         err = capsys.readouterr().err
         assert "Monte-Carlo" in err and "error:" in err
+
+
+class TestFormatFlag:
+    """The repeatable ``--format`` flag and the scenario `.rrec` export."""
+
+    def test_scenario_defaults_include_rrec(self, tmp_path, capsys):
+        import json
+
+        from repro.records import read_records
+
+        assert (
+            main(
+                ["scenario", "ideal-m3", "--shots", "8", "--seed", "3",
+                 "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for suffix in ("csv", "json", "md", "rrec"):
+            assert (tmp_path / f"scenario_ideal-m3.{suffix}").exists()
+        decoded = read_records(tmp_path / "scenario_ideal-m3.rrec")
+        exported = json.loads(
+            (tmp_path / "scenario_ideal-m3.json").read_text(encoding="utf-8")
+        )
+        assert [record.json_dict() for record in decoded] == exported
+
+    def test_scenario_sweep_merges_shards(self, tmp_path, capsys):
+        from repro.records import read_records, write_records
+
+        assert (
+            main(
+                ["scenario", "ideal-m3", "bare-bb-m2", "--shots", "8",
+                 "--seed", "3", "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "merged 2 artefacts" in out
+        merged = tmp_path / "scenario_sweep.rrec"
+        concatenated = read_records(tmp_path / "scenario_ideal-m3.rrec") + (
+            read_records(tmp_path / "scenario_bare-bb-m2.rrec")
+        )
+        assert read_records(merged) == concatenated
+        # The mmap merge is byte-identical to a serial re-encode.
+        serial = write_records(tmp_path / "serial.rrec", concatenated)
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_format_flag_selects_a_subset(self, tmp_path, capsys):
+        assert (
+            main(
+                ["scenario", "ideal-m3", "--shots", "8", "--seed", "3",
+                 "--format", "rrec", "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (tmp_path / "scenario_ideal-m3.rrec").exists()
+        assert not (tmp_path / "scenario_ideal-m3.csv").exists()
+        assert not (tmp_path / "scenario_ideal-m3.json").exists()
+
+    def test_rrec_on_a_figure_run_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig9", "--quick", "--format", "rrec"])
+        assert excinfo.value.code == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_unknown_format_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--format", "parquet"])
+
+    def test_all_expands_per_context_and_repeats_deduplicate(self):
+        from repro.experiments.__main__ import resolve_formats
+
+        parser = build_parser()
+        everything = parser.parse_args(["fig9", "--format", "all"])
+        assert resolve_formats(everything, scenario=True) == (
+            "csv", "json", "markdown", "rrec",
+        )
+        assert resolve_formats(everything, scenario=False) == (
+            "csv", "json", "markdown",
+        )
+        repeated = parser.parse_args(
+            ["fig9", "--format", "csv", "--format", "csv", "--format", "json"]
+        )
+        assert resolve_formats(repeated, scenario=False) == ("csv", "json")
+
+    def test_figure_exports_honour_the_format_flag(self, tmp_path, capsys):
+        assert (
+            main(
+                ["table1", "--m", "2", "--k", "1", "--format", "json",
+                 "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (tmp_path / "table1.json").exists()
+        assert not (tmp_path / "table1.csv").exists()
 
 
 class TestShardedCommandLine:

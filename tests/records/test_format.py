@@ -1,0 +1,222 @@
+"""The ``.rrec`` container: layout, round trips, writer/reader contracts."""
+
+import math
+import struct
+
+import pytest
+
+from repro.records import (
+    MAGIC,
+    RECORD_FORMAT_VERSION,
+    RecordFile,
+    RecordFormatError,
+    RecordWriter,
+    read_records,
+    schema_fields,
+    write_records,
+)
+from repro.records.format import (
+    FIELD_WIDTH,
+    HEADER_STRUCT,
+    TYPE_FLOAT,
+    TYPE_INT,
+    TYPE_STR,
+    encode_header,
+    row_struct,
+)
+from repro.scenarios.record import RECORD_SCHEMA_VERSION, ScenarioRecord
+from repro.scenarios.spec import available_scenarios
+
+
+def _record(**overrides) -> ScenarioRecord:
+    base = dict(
+        scenario="s",
+        architecture="virtual",
+        m=2,
+        k=0,
+        mapping="none",
+        routing="-",
+        router="greedy-swap",
+        device="reference",
+        num_qubits=5,
+        logical_gates=10,
+        executed_gates=10,
+        extra_swaps=0,
+        link_operations=0,
+        measurements=0,
+        logical_depth=4,
+        executed_depth=4,
+        idle_error=0.0,
+        readout_error=0.0,
+        error_reduction_factor=1.0,
+        shots=16,
+        engine="feynman-tape",
+        fidelity=0.5,
+        std_error=0.01,
+    )
+    base.update(overrides)
+    return ScenarioRecord(**base)
+
+
+class TestSchema:
+    def test_schema_mirrors_the_dataclass(self):
+        from dataclasses import fields
+
+        table = schema_fields()
+        assert [name for name, _ in table] == [
+            field.name for field in fields(ScenarioRecord)
+        ]
+        codes = {TYPE_INT, TYPE_FLOAT, TYPE_STR}
+        assert all(code in codes for _, code in table)
+
+    def test_row_struct_width_is_eight_bytes_per_field(self):
+        assert row_struct().size == FIELD_WIDTH * len(schema_fields())
+
+    def test_header_layout(self):
+        header = encode_header(7, "label")
+        magic, fmt, schema, count, reserved, rows = HEADER_STRUCT.unpack_from(
+            header, 0
+        )
+        assert magic == MAGIC
+        assert fmt == RECORD_FORMAT_VERSION
+        assert schema == RECORD_SCHEMA_VERSION
+        assert count == len(schema_fields())
+        assert reserved == 0
+        assert rows == 7
+        (tag_length,) = struct.unpack_from("<H", header, HEADER_STRUCT.size)
+        tag_start = HEADER_STRUCT.size + 2
+        assert header[tag_start : tag_start + tag_length] == b"label"
+
+    def test_oversized_tag_rejected(self):
+        with pytest.raises(RecordFormatError, match="tag"):
+            encode_header(0, "x" * 70000)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        records = [_record(), _record(fidelity=0.25, m=3)]
+        path = write_records(tmp_path / "a.rrec", records)
+        assert read_records(path) == records
+
+    def test_empty_file_round_trips_to_empty_list(self, tmp_path):
+        path = write_records(tmp_path / "empty.rrec", [])
+        assert read_records(path) == []
+
+    def test_nan_floats_round_trip_bit_exact(self, tmp_path):
+        records = [_record(fidelity=math.nan, std_error=math.nan)]
+        path = write_records(tmp_path / "nan.rrec", records)
+        decoded = read_records(path)[0]
+        assert math.isnan(decoded.fidelity)
+        assert decoded == records[0]
+
+    def test_tag_round_trips(self, tmp_path):
+        path = write_records(tmp_path / "t.rrec", [_record()], tag="fp-123")
+        with RecordFile(path) as record_file:
+            assert record_file.tag == "fp-123"
+
+    def test_bytes_are_a_pure_function_of_records_and_tag(self, tmp_path):
+        records = [_record(), _record(fidelity=0.9)]
+        first = write_records(tmp_path / "x.rrec", records, tag="t")
+        second = write_records(tmp_path / "y.rrec", records, tag="t")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_mappings_are_validated_through_from_dict(self, tmp_path):
+        record = _record()
+        path = write_records(tmp_path / "m.rrec", [record.as_dict()])
+        assert read_records(path) == [record]
+
+    def test_full_builtin_catalog_round_trips(self, tmp_path):
+        """decode(encode(records)) is the identity for every registered
+        scenario's sweep records -- the tentpole acceptance pin."""
+        from repro.scenarios import run_scenario
+
+        names = available_scenarios()
+        assert len(names) >= 18
+        records = []
+        for name in names:
+            records.extend(run_scenario(name, shots=4, workers=1, cache=False))
+        path = write_records(tmp_path / "catalog.rrec", records)
+        decoded = read_records(path)
+        assert decoded == records
+        # Bit-exact floats, not merely NaN-aware equality.
+        for ours, theirs in zip(decoded, records):
+            for name, code in schema_fields():
+                if code == TYPE_FLOAT:
+                    packed = struct.pack("<d", ours[name])
+                    assert packed == struct.pack("<d", theirs[name])
+
+
+class TestWriter:
+    def test_append_matches_write_records(self, tmp_path):
+        records = [_record(), _record(scenario="other"), _record(m=4)]
+        bulk = write_records(tmp_path / "bulk.rrec", records)
+        with RecordWriter(tmp_path / "one.rrec") as writer:
+            for record in records:
+                writer.append(record)
+        assert bulk.read_bytes() == (tmp_path / "one.rrec").read_bytes()
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        writer = RecordWriter(tmp_path / "w.rrec")
+        writer.close()
+        with pytest.raises(RecordFormatError, match="closed"):
+            writer.append(_record())
+        assert writer.close() == tmp_path / "w.rrec"  # idempotent
+
+    def test_out_of_int64_range_value_rejected(self, tmp_path):
+        with RecordWriter(tmp_path / "w.rrec") as writer:
+            with pytest.raises(RecordFormatError, match="packed row format"):
+                writer.append(_record(shots=2**63))
+
+    def test_stale_schema_version_rejected(self, tmp_path):
+        record = _record()
+        object.__setattr__(record, "schema_version", RECORD_SCHEMA_VERSION + 1)
+        with RecordWriter(tmp_path / "w.rrec") as writer:
+            with pytest.raises(RecordFormatError, match="schema_version"):
+                writer.append(record)
+
+    def test_invalid_mapping_rejected(self, tmp_path):
+        with RecordWriter(tmp_path / "w.rrec") as writer:
+            with pytest.raises(RecordFormatError, match="unpackable record"):
+                writer.append({"surprise": 1})
+
+    def test_crashed_writer_leaves_an_unreadable_file(self, tmp_path):
+        path = tmp_path / "crash.rrec"
+        with pytest.raises(RuntimeError):
+            with RecordWriter(path) as writer:
+                writer.append(_record())
+                raise RuntimeError("boom")
+        with pytest.raises(RecordFormatError):
+            read_records(path)
+
+
+class TestReaderProtocol:
+    def _path(self, tmp_path):
+        records = [_record(m=i + 1) for i in range(5)]
+        return write_records(tmp_path / "seq.rrec", records), records
+
+    def test_sequence_protocol(self, tmp_path):
+        path, records = self._path(tmp_path)
+        with RecordFile(path) as record_file:
+            assert len(record_file) == 5
+            assert record_file[0] == records[0]
+            assert record_file[-1] == records[-1]
+            assert record_file[1:3] == records[1:3]
+            assert list(record_file) == records
+            with pytest.raises(IndexError):
+                record_file[5]
+
+    def test_rows_matrix_shape(self, tmp_path):
+        path, records = self._path(tmp_path)
+        with RecordFile(path) as record_file:
+            assert record_file.rows.shape == (5, len(schema_fields()))
+
+    def test_tobytes_returns_the_file_bytes(self, tmp_path):
+        path, _ = self._path(tmp_path)
+        with RecordFile(path) as record_file:
+            assert record_file.tobytes() == path.read_bytes()
+
+    def test_close_releases_the_mapping(self, tmp_path):
+        path, _ = self._path(tmp_path)
+        record_file = RecordFile(path)
+        record_file.close()
+        record_file.close()  # idempotent

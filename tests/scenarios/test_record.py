@@ -159,6 +159,8 @@ class TestValidation:
         cache = ResultCache(tmp_path)
         record = TestMappingProtocol.RECORD
         path = cache.put("ab" * 32, [record])
+        # Drop the binary artefact so the JSON document is the only backend.
+        cache.binary_path_for("ab" * 32).unlink()
         document = json.loads(path.read_text(encoding="utf-8"))
         for row in document["records"]:
             del row["schema_version"]
@@ -183,3 +185,66 @@ def test_run_scenario_returns_typed_records():
     assert all(record.router == "greedy-swap" for record in records)
     round_tripped = [ScenarioRecord.from_json(r.to_json()) for r in records]
     assert round_tripped == records
+
+
+class TestNaNCanonicalJson:
+    """Regression pins for the non-standard ``NaN`` literal ``to_json``
+    used to emit (``json.dumps`` default): NaN is now canonically ``null``
+    on the wire and NaN again after parsing, end to end."""
+
+    def _nan_record(self):
+        import math
+
+        return ScenarioRecord(
+            **{
+                **TestMappingProtocol.RECORD.as_dict(),
+                "fidelity": math.nan,
+                "std_error": math.nan,
+                "kept_fraction": 0.0,
+            }
+        )
+
+    def test_to_json_emits_null_not_nan_literal(self):
+        import math
+
+        record = self._nan_record()
+        text = record.to_json()
+        assert "NaN" not in text
+        payload = json.loads(text)  # strict parsers accept the document
+        assert payload["fidelity"] is None
+        back = ScenarioRecord.from_json(text)
+        assert math.isnan(back.fidelity)
+        assert back == record
+
+    def test_nan_round_trips_through_the_cache_store(self, tmp_path):
+        from repro.cache.store import ResultCache
+
+        cache = ResultCache(tmp_path)
+        record = self._nan_record()
+        path = cache.put("ab" * 32, [record])
+        assert "NaN" not in path.read_text(encoding="utf-8")
+        assert cache.get("ab" * 32) == [record]
+        # The JSON fallback path alone also restores NaN.
+        cache.binary_path_for("ab" * 32).unlink()
+        assert cache.get("ab" * 32) == [record]
+
+    def test_nan_round_trips_through_the_server_results_route(self, tmp_path):
+        from repro.server.app import ScenarioService
+        from repro.server.responses import encode
+
+        fingerprint = "ab" * 32
+        service = ScenarioService(cache=str(tmp_path))
+        service.cache.put(fingerprint, [self._nan_record()])
+        status, envelope = service.handle_get(f"/api/v1/results/{fingerprint}")
+        assert status == 200
+        blob = encode(envelope)  # allow_nan=False: raises if NaN leaked
+        row = json.loads(blob)["data"]["records"][0]
+        assert row["fidelity"] is None
+
+    def test_nan_aware_equality_and_hash(self):
+        first = self._nan_record()
+        second = self._nan_record()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != TestMappingProtocol.RECORD
+        assert first.__eq__(object()) is NotImplemented

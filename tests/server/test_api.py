@@ -231,6 +231,78 @@ class TestErrorModel:
         assert body["data"]["records"]
 
 
+class TestBinaryArtefactRoute:
+    """``GET /results/<fp>.rrec``: raw mmap-served bytes, JSON errors."""
+
+    @pytest.fixture()
+    def seeded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_scenario("ideal-m3", shots=8, seed=2, workers=1, cache=cache)
+        return ScenarioService(cache=cache), cache.fingerprints()[0]
+
+    def test_serves_the_committed_artefact_bytes(self, seeded):
+        from repro.server.responses import RawResponse
+
+        service, fingerprint = seeded
+        status, raw = service.handle_get(f"{API_PREFIX}/results/{fingerprint}.rrec")
+        assert status == 200
+        assert isinstance(raw, RawResponse)
+        assert raw.content_type == "application/octet-stream"
+        assert raw.body == service.cache.binary_path_for(fingerprint).read_bytes()
+
+    def test_served_bytes_decode_to_the_cached_records(self, seeded):
+        from repro.records import RecordFile
+
+        service, fingerprint = seeded
+        _, raw = service.handle_get(f"{API_PREFIX}/results/{fingerprint}.rrec")
+        path = service.cache.binary_path_for(fingerprint)
+        with RecordFile(path) as record_file:
+            assert record_file.records() == service.cache.get(fingerprint)
+            assert record_file.tag == fingerprint
+
+    def test_errors_stay_json_envelopes(self, seeded):
+        service, _ = seeded
+        status, body = service.handle_get(f"{API_PREFIX}/results/nothex.rrec")
+        assert (status, body["error"]["code"]) == (400, "invalid_request")
+        status, body = service.handle_get(
+            f"{API_PREFIX}/results/{'0' * 64}.rrec"
+        )
+        assert (status, body["error"]["code"]) == (404, "not_found")
+
+    def test_corrupt_binary_heals_from_json_and_serves(self, seeded):
+        service, fingerprint = seeded
+        path = service.cache.binary_path_for(fingerprint)
+        expected = path.read_bytes()
+        path.write_bytes(b"\x00" * 32)
+        status, raw = service.handle_get(f"{API_PREFIX}/results/{fingerprint}.rrec")
+        assert status == 200
+        assert raw.body == expected
+
+    def test_binary_route_over_a_real_socket(self, server):
+        """End to end over HTTP: run a job, then fetch the raw artefact."""
+        scenario = available_scenarios()[0]
+        status, body = _request(
+            server,
+            f"{API_PREFIX}/runs",
+            {"scenario": scenario, "shots": SHOTS, "seed": SEED},
+        )
+        assert status in (200, 202)
+        job = body["data"]["job"]
+        fingerprint = job["fingerprint"]
+        _poll_job(server, job["id"])
+        url = server.url + f"{API_PREFIX}/results/{fingerprint}.rrec"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/octet-stream"
+            blob = response.read()
+        assert blob == service_bytes(server, fingerprint)
+
+
+def service_bytes(server, fingerprint):
+    """The artefact bytes straight off the live server's cache."""
+    return server.service.cache.binary_path_for(fingerprint).read_bytes()
+
+
 class TestJobTable:
     def test_ids_are_dense_and_ordered(self):
         from repro.scenarios import get_scenario
